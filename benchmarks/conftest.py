@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark drives the same ``repro.bench`` artifact modules as the CLI,
+on a small representative dataset subset so `pytest benchmarks/
+--benchmark-only` completes in minutes.  Full-registry sweeps are run via
+``python -m repro bench all`` (see EXPERIMENTS.md).
+
+The subsets cover one graph per structural family so every code path
+(gap-zero fast exit, social funnel, dense bio sub-solves, bipartite worst
+case) is exercised.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+
+# One representative per family, small enough for repeated timing.
+FAST_DATASETS = ("CAroad", "talk", "dblp", "hudong", "yahoo", "HS-CX")
+# Two graphs with real systematic-search work for the ablations.
+ABLATION_DATASETS = ("talk", "HS-CX")
+# Social + bio coverage for the choice/scaling benches.
+CHOICE_DATASETS = ("pokec", "HS-CX")
+SCALING_DATASETS = ("topcats", "WormNet")
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return BenchConfig(datasets=FAST_DATASETS, repeats=1, timeout_seconds=30.0)
+
+
+@pytest.fixture(scope="session")
+def ablation_config():
+    return BenchConfig(datasets=ABLATION_DATASETS, repeats=1, timeout_seconds=30.0)
+
+
+@pytest.fixture(scope="session")
+def choice_config():
+    return BenchConfig(datasets=CHOICE_DATASETS, repeats=1, timeout_seconds=30.0)
+
+
+@pytest.fixture(scope="session")
+def scaling_config():
+    return BenchConfig(datasets=SCALING_DATASETS, repeats=1, timeout_seconds=30.0)

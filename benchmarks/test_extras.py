@@ -1,0 +1,43 @@
+"""Benchmark: the extra design-choice ablations (DESIGN.md §5, items 4-6)."""
+
+from repro.bench import extras
+from repro.bench.harness import BenchConfig
+
+DATASETS = ("talk", "topcats", "HS-CX")
+
+
+def test_extras_filter_rounds(benchmark):
+    config = BenchConfig(datasets=DATASETS, repeats=1, timeout_seconds=30.0)
+    rows = benchmark.pedantic(lambda: extras.run_filter_rounds(config),
+                              rounds=1, iterations=1)
+    for r in rows:
+        assert r["exact_all_configs"], r["graph"]
+        # More filter rounds never increase the number of sub-searches.
+        assert r["searched"][4] <= r["searched"][0], r["graph"]
+    # On a sparse graph with real work, filtering pays: 2 rounds searches
+    # far fewer neighborhoods than 0 rounds (the §IV-D claim).
+    talk = next(r for r in rows if r["graph"] == "talk")
+    assert talk["searched"][2] < talk["searched"][0]
+    # And the second round adds little beyond the first on most graphs
+    # ("two iterations are sufficient").
+    assert talk["searched"][4] == talk["searched"][2]
+
+
+def test_extras_seeding(benchmark):
+    config = BenchConfig(datasets=DATASETS, repeats=1, timeout_seconds=30.0)
+    rows = benchmark.pedantic(lambda: extras.run_seeding(config),
+                              rounds=1, iterations=1)
+    for r in rows:
+        assert r["exact"], r["graph"]
+        assert r["work_seeded"] > 0 and r["work_unseeded"] > 0
+
+
+def test_extras_hash_threshold(benchmark):
+    config = BenchConfig(datasets=DATASETS, repeats=1, timeout_seconds=30.0)
+    rows = benchmark.pedantic(lambda: extras.run_hash_threshold(config),
+                              rounds=1, iterations=1)
+    for r in rows:
+        assert r["exact_all_configs"], r["graph"]
+        # Threshold 0 hashes everything it touches; a huge threshold
+        # hashes only what the hash-specific paths demand.
+        assert r["built_hash"][0] >= r["built_hash"][10**9], r["graph"]

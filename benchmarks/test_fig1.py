@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 1 (may/must zone-of-interest fractions)."""
+
+from repro.bench import fig1
+
+
+def test_fig1_may_must(benchmark, fast_config):
+    rows = benchmark.pedantic(lambda: fig1.run(fast_config),
+                              rounds=1, iterations=1)
+    by_name = {r["graph"]: r for r in rows}
+    for r in rows:
+        # must is contained in may, which is contained in attached.
+        assert r["must_v"] <= r["may_v"] <= 1.0
+        assert r["must_e"] <= r["may_e"] <= r["attached_e"] <= 1.0
+
+    # Gap-zero graphs have an *empty* must subgraph (Fig. 1a).
+    assert by_name["CAroad"]["must_v"] == 0.0
+    assert by_name["dblp"]["must_v"] == 0.0
+    # Gap-positive graphs have a non-empty must subgraph (Fig. 1b).
+    assert by_name["talk"]["must_v"] > 0.0
+    assert by_name["yahoo"]["must_v"] > 0.0
+    # The motivating observation: on graphs with a sizable maximum clique
+    # only a small fraction of vertices can possibly matter.
+    assert by_name["hudong"]["may_v"] < 0.1

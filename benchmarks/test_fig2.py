@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 2 (relative time per LazyMC phase)."""
+
+import pytest
+
+from repro.bench import fig2
+
+
+def test_fig2_phase_breakdown(benchmark, fast_config):
+    rows = benchmark.pedantic(lambda: fig2.run(fast_config),
+                              rounds=1, iterations=1)
+    by_name = {r["graph"]: r for r in rows}
+    for r in rows:
+        total = sum(r[p] for p in fig2.PHASES)
+        assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+    # Graphs solved by the heuristic spend (almost) nothing in systematic
+    # search (the paper's small gap-zero graphs are dominated by k-core +
+    # sort).  Thresholds are generous: these are wall-time fractions of
+    # millisecond-scale solves and jitter under CPU contention.
+    assert by_name["CAroad"]["systematic"] < 0.5
+    # Gap-positive graphs with real search work are dominated by the
+    # systematic phase.
+    assert by_name["HS-CX"]["systematic"] > 0.2

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 3 (systematic-search work breakdown)."""
+
+import pytest
+
+from repro.bench import fig3
+
+
+def test_fig3_systematic_breakdown(benchmark, fast_config):
+    rows = benchmark.pedantic(lambda: fig3.run(fast_config),
+                              rounds=1, iterations=1)
+    by_name = {r["graph"]: r for r in rows}
+    for r in rows:
+        fracs = r["filter_frac"] + r["mc_frac"] + r["kvc_frac"]
+        assert fracs == pytest.approx(1.0, abs=1e-6) or r["work_total"] == 0
+    # Graphs where the heuristic finds a gap-zero maximum have no data
+    # (the paper's empty bars).
+    assert by_name["CAroad"]["work_total"] == 0
+    assert by_name["dblp"]["work_total"] == 0
+    # Dense subgraphs dispatch to k-VC (density >= 50%): the paper observes
+    # vertex cover is predominantly selected where search happens.
+    assert by_name["HS-CX"]["searched_kvc"] > 0
+    # Filtering is a substantial share of systematic time on sparse
+    # graphs (the paper: "filtering ... takes up the majority of time in
+    # many graphs").
+    assert by_name["talk"]["filter_frac"] > 0.5

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 4 (laziness / prepopulation ablation)."""
+
+from repro.bench import fig4
+from repro.bench.harness import BenchConfig
+
+# Prepopulation differences only show on graphs with a periphery that the
+# search never touches; include two such plus a dense one.
+DATASETS = ("CAroad", "hudong", "HS-CX")
+
+
+def test_fig4_prepopulation(benchmark):
+    config = BenchConfig(datasets=DATASETS, repeats=1, timeout_seconds=30.0)
+    rows = benchmark.pedantic(lambda: fig4.run(config), rounds=1, iterations=1)
+    by_name = {r["graph"]: r for r in rows}
+    for r in rows:
+        # "all" can never build fewer neighborhoods than "must".
+        assert r["built_all"] >= r["built_must"]
+    # The headline: prepopulating ALL neighborhoods wastes work on graphs
+    # whose search never visits most vertices (paper: up to 26x slowdown).
+    assert by_name["CAroad"]["slowdown_all_work"] > 1.2
+    # On gap-zero graphs solved by the heuristic the difference is mild
+    # but never negative: "all" is pure overhead.
+    assert by_name["hudong"]["slowdown_all_work"] >= 1.0
+    # Prepopulating NONE stays near the baseline (paper geomean 0.996).
+    s = fig4.summary(rows)
+    assert 0.5 < s["geomean_none_work"] < 2.0

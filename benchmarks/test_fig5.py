@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 5 (early-exit intersection ablation)."""
+
+from repro.bench import fig5
+
+
+def test_fig5_early_exit_ablation(benchmark, ablation_config):
+    rows = benchmark.pedantic(lambda: fig5.run(ablation_config),
+                              rounds=1, iterations=1)
+    for r in rows:
+        # Disabling every early exit can only add scanned elements
+        # (paper: always improves on average, up to 3.99x on dimacs).
+        assert r["slowdown_noexit_work"] >= 1.0, r
+        # Disabling only the second exit sits between the two.
+        assert r["slowdown_nosecond_work"] >= 0.9, r
+        assert r["slowdown_nosecond_work"] <= r["slowdown_noexit_work"] + 0.1, r
+        # The full config actually took early exits.
+        assert r["early_exits_false"] + r["early_exits_true"] > 0, r
+    s = fig5.summary(rows)
+    assert s["geomean_noexit_work"] > 1.0

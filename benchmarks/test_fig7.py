@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 7 (simulated parallel scaling + work inflation)."""
+
+from repro.bench import fig7
+from repro.bench.harness import BenchConfig
+
+
+def test_fig7_parallel_scaling(benchmark, scaling_config):
+    thread_counts = [1, 4, 16, 64, 128]
+    rows = benchmark.pedantic(
+        lambda: fig7.run(scaling_config, thread_counts=thread_counts),
+        rounds=1, iterations=1)
+    by_graph: dict = {}
+    for r in rows:
+        by_graph.setdefault(r["graph"], {})[r["threads"]] = r
+    for graph, series in by_graph.items():
+        assert set(series) == set(thread_counts)
+        # omega identical across thread counts (exactness under parallelism).
+        omegas = {series[t]["omega"] for t in thread_counts}
+        assert len(omegas) == 1, graph
+        # Speedup at 128 simulated threads exceeds 1 and work never shrinks
+        # by more than noise: stale incumbents can only add work (§V-F).
+        assert series[128]["speedup"] > 1.0, graph
+        assert series[128]["inflation"] >= 0.99, graph
+        # Makespan is monotone non-increasing in threads up to scheduling
+        # noise from work inflation.
+        assert series[128]["makespan"] <= series[1]["makespan"], graph
+
+    # At least one graph exhibits real work inflation — the paper's
+    # headline adverse effect (139x on warwiki; any factor > 1.05 shows
+    # the mechanism).
+    assert any(series[128]["inflation"] > 1.05 for series in by_graph.values())

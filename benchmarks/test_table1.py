@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I (graph characterization)."""
+
+from repro.bench import table1
+
+
+def test_table1_characterization(benchmark, fast_config):
+    rows = benchmark.pedantic(lambda: table1.run(fast_config),
+                              rounds=1, iterations=1)
+    assert len(rows) == len(fast_config.datasets)
+    for r in rows:
+        # Degeneracy bound (§II): omega <= d + 1, i.e. gap >= 0.
+        assert r["gap"] >= 0, r
+        # Heuristics never exceed omega.
+        assert r["heur_d"] <= r["omega"]
+        assert r["heur_h"] <= r["omega"]
+    # Shape vs paper: the gap-zero classification matches the real graphs.
+    by_name = {r["graph"]: r for r in rows}
+    assert by_name["CAroad"]["gap_zero"] and by_name["CAroad"]["paper_gap_zero"]
+    assert by_name["dblp"]["gap_zero"] and by_name["dblp"]["paper_gap_zero"]
+    assert not by_name["talk"]["gap_zero"]
+    assert not by_name["yahoo"]["gap_zero"]

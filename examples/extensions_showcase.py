@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Extensions beyond the paper, measured against the faithful baseline.
+
+The paper closes by anticipating gains from "incorporating similarly
+advanced algorithmic ideas as the baselines".  This library implements
+several such extensions behind config flags — all off by default, all
+exactness-preserving.  This example turns them on one at a time and
+reports the work delta on a dense instance (where they matter most).
+
+Run:  python examples/extensions_showcase.py
+"""
+
+from repro import LazyMCConfig, lazymc
+from repro.graph.generators import overlapping_cliques
+
+VARIANTS = {
+    "paper-faithful (baseline)": LazyMCConfig(),
+    "+ local search on heuristic": LazyMCConfig(local_search=True),
+    "+ coloring neighborhood filter": LazyMCConfig(coloring_filter=True),
+    "+ BRB universal-vertex peeling": LazyMCConfig(mc_reduce_universal=True,
+                                                   use_kvc=False),
+    "+ DSATUR root bound": LazyMCConfig(mc_root_bound="dsatur",
+                                        use_kvc=False),
+    "all extensions": LazyMCConfig(local_search=True, coloring_filter=True,
+                                   mc_reduce_universal=True,
+                                   mc_root_bound="dsatur"),
+}
+
+
+def main() -> None:
+    graph = overlapping_cliques(130, 40, (10, 26), noise_p=0.03, seed=77)
+    print(f"graph: {graph.n} vertices, {graph.m} edges, "
+          f"density {graph.density:.2f}")
+
+    baseline_work = None
+    baseline_omega = None
+    print(f"\n{'variant':36s} {'omega':>5} {'work':>10} {'vs baseline':>11}")
+    for name, config in VARIANTS.items():
+        result = lazymc(graph, config)
+        if baseline_work is None:
+            baseline_work = result.counters.work
+            baseline_omega = result.omega
+        assert result.omega == baseline_omega  # extensions never change ω
+        ratio = result.counters.work / baseline_work
+        print(f"{name:36s} {result.omega:>5} {result.counters.work:>10} "
+              f"{ratio:>10.3f}x")
+
+    print("\nEvery variant returns the identical maximum clique size;")
+    print("the flags only shift where the work is spent.  Note that on")
+    print("this dense instance none of the extensions beats the faithful")
+    print("baseline — the k-VC algorithmic choice is already the right")
+    print("tool here, which is precisely the paper's thesis; the")
+    print("extensions pay on other profiles (see benchmarks/test_extras.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Maximal clique enumeration and k-clique analytics on a community graph.
+
+MC's sibling problems, built on the same substrates: enumerate all maximal
+cliques (streaming, with early stop), count k-cliques, and compare the
+MCE-based maximum against LazyMC's.
+
+Run:  python examples/maximal_clique_enumeration.py
+"""
+
+from repro import lazymc
+from repro.graph.generators import relaxed_caveman
+from repro.mc.kclique import count_k_cliques, find_k_clique
+from repro.mce import CliqueConsumer, count_maximal_cliques, enumerate_cliques_degeneracy
+
+
+def main() -> None:
+    graph = relaxed_caveman(num_cliques=10, clique_size=7, rewire_prob=0.15,
+                            seed=17)
+    print(f"graph: {graph.n} vertices, {graph.m} edges")
+
+    # --- Enumerate all maximal cliques ------------------------------------
+    total = count_maximal_cliques(graph)
+    consumer = enumerate_cliques_degeneracy(graph)
+    print(f"\nmaximal cliques: {total}")
+    print(f"largest maximal clique: {len(consumer.largest)} vertices")
+
+    # Cross-check against the exact MC solver.
+    result = lazymc(graph)
+    assert result.omega == len(consumer.largest)
+    print(f"LazyMC agrees: omega = {result.omega}")
+
+    # --- Streaming with early stop ----------------------------------------
+    big = []
+
+    def sink(clique):
+        if len(clique) >= 6:
+            big.append(clique)
+        return len(big) < 5  # stop after the first five big ones
+
+    enumerate_cliques_degeneracy(graph, CliqueConsumer(sink))
+    print(f"\nfirst {len(big)} maximal cliques with >= 6 members "
+          f"(streamed, enumeration stopped early):")
+    for c in big:
+        print(f"  {c}")
+
+    # --- k-clique analytics -------------------------------------------------
+    print("\nk-clique counts:")
+    for k in range(2, result.omega + 1):
+        print(f"  k={k}: {count_k_cliques(graph, k):>6}")
+    probe = find_k_clique(graph, result.omega)
+    print(f"\na maximum-size clique found via the k-clique API: {probe}")
+    assert find_k_clique(graph, result.omega + 1) is None
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Find the largest fully-connected community in a social network.
+
+The intro-style workload: social graphs have power-law hubs and a large
+clique-core gap, so the degree heuristic undershoots badly and naive
+search wastes effort on hub neighborhoods that provably contain no large
+clique.  This example shows the work-avoidance machinery earning its keep:
+the filter funnel dismisses almost every neighborhood without branching.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from repro import LazyMCConfig, lazymc
+from repro.baselines import mcbrb, pmc
+from repro.graph.generators import social_network, with_periphery
+
+
+def main() -> None:
+    # A power-law community graph: hubs, a dense-but-cliqueless core, a
+    # hidden 12-person fully-connected group, and a long tail of
+    # low-activity accounts.
+    core = social_network(n=900, attach=4, triangle_prob=0.6,
+                          noise_p=0.03, clique_size=12, seed=42)
+    graph = with_periphery(core, extra=2700, seed=43)
+    print(f"network: {graph.n} accounts, {graph.m} relationships")
+
+    result = lazymc(graph)
+    print(f"\nlargest fully-connected community: {result.omega} members")
+    print(f"members: {result.clique}")
+
+    # The work-avoidance story: how many candidate communities were
+    # dismissed per filtering stage without any search (Table III).
+    f = result.funnel
+    print(f"\nneighborhoods considered : {f.considered}")
+    print(f"  survived coreness check: {f.after_coreness}")
+    print(f"  survived size filter   : {f.after_filter1}")
+    print(f"  survived degree filter : {f.after_filter2}")
+    print(f"  survived second round  : {f.after_filter3}")
+    print(f"  actually searched      : {f.searched} "
+          f"({f.searched_mc} via MC, {f.searched_kvc} via k-VC)")
+
+    print(f"\nheuristic lower bounds: degree {result.heuristic_degree_size}, "
+          f"coreness {result.heuristic_coreness_size} (true omega {result.omega})")
+
+    # Cross-check against two reimplemented baselines from the paper.
+    for name, solver in [("PMC", lambda: pmc(graph)),
+                         ("MC-BRB", lambda: mcbrb(graph))]:
+        r = solver()
+        status = "agrees" if r.omega == result.omega else "DISAGREES"
+        print(f"{name:7s}: omega = {r.omega} ({status}), "
+              f"work = {r.counters.work} vs LazyMC {result.counters.work}")
+
+
+if __name__ == "__main__":
+    main()

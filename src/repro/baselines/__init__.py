@@ -1,0 +1,33 @@
+"""Reimplementations of the paper's comparison algorithms (§V-A).
+
+* :mod:`~repro.baselines.pmc` — PMC (Rossi et al.): parallel branch and
+  bound with coreness-based heuristic, graph-coloring pruning, and *eager*
+  relabelled-graph construction (the design LazyMC's laziness improves on).
+* :mod:`~repro.baselines.domega` — dOmega (Walteros & Buchanan): solve MC
+  as a progression of k-vertex-cover decisions over the clique-core gap,
+  in linear-progression (LS) and binary-search (BS) variants; sequential.
+* :mod:`~repro.baselines.mcbrb` — MC-BRB (Chang): transform MC into a
+  sequence of ego-network k-clique-finding problems with branch-reduce-
+  bound; sequential, degree-based heuristic.
+* :mod:`~repro.baselines.reference` — oracles (networkx, brute force) used
+  by tests and as ground truth in the benches.
+
+All return a :class:`~repro.baselines.common.BaselineResult` and honor the
+same work/wall-clock budget mechanism as LazyMC so Table II's timeout
+semantics carry over.
+"""
+
+from .common import BaselineResult
+from .pmc import pmc
+from .domega import domega
+from .mcbrb import mcbrb
+from .reference import networkx_max_clique, brute_force_max_clique_graph
+
+__all__ = [
+    "BaselineResult",
+    "pmc",
+    "domega",
+    "mcbrb",
+    "networkx_max_clique",
+    "brute_force_max_clique_graph",
+]

@@ -1,0 +1,36 @@
+"""Shared result type and helpers for baseline solvers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+from ..instrument import Counters
+
+
+@dataclass
+class BaselineResult:
+    """Uniform result record for baseline algorithms (Table II rows)."""
+
+    name: str
+    clique: list[int]
+    omega: int
+    counters: Counters
+    wall_seconds: float
+    timed_out: bool = False
+
+    def verify(self, graph: CSRGraph) -> bool:
+        """Check the clique is valid and matches omega."""
+        return len(self.clique) == self.omega and graph.is_clique(self.clique)
+
+
+class Stopwatch:
+    """Tiny helper so every baseline reports wall time identically."""
+
+    def __init__(self):
+        self.t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self.t0

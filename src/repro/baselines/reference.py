@@ -1,0 +1,45 @@
+"""Reference oracles: networkx exact solver and brute force.
+
+Not baselines from the paper — these exist to validate every solver in the
+repository against independent implementations, and to supply ground-truth
+ω values to the benches cheaply when a graph is small.
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from ..instrument import Counters
+from .common import BaselineResult, Stopwatch
+
+
+def networkx_max_clique(graph: CSRGraph) -> BaselineResult:
+    """Exact maximum clique via networkx's max_weight_clique (weights=1)."""
+    import networkx as nx
+
+    watch = Stopwatch()
+    if graph.n == 0:
+        return BaselineResult("networkx", [], 0, Counters(), watch.elapsed())
+    clique, _ = nx.max_weight_clique(graph.to_networkx(), weight=None)
+    clique = sorted(int(v) for v in clique)
+    return BaselineResult("networkx", clique, len(clique), Counters(),
+                          watch.elapsed())
+
+
+def brute_force_max_clique_graph(graph: CSRGraph) -> BaselineResult:
+    """Exponential search with simple pruning; only for n <= ~20."""
+    watch = Stopwatch()
+    best: list[int] = []
+    adj = [graph.neighbor_set(v) for v in range(graph.n)]
+
+    def extend(clique: list[int], candidates: list[int]) -> None:
+        nonlocal best
+        if len(clique) > len(best):
+            best = list(clique)
+        for i, v in enumerate(candidates):
+            if len(clique) + len(candidates) - i <= len(best):
+                return
+            extend(clique + [v], [u for u in candidates[i + 1:] if u in adj[v]])
+
+    extend([], list(range(graph.n)))
+    return BaselineResult("brute-force", sorted(best), len(best), Counters(),
+                          watch.elapsed())

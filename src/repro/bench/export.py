@@ -1,0 +1,74 @@
+"""JSON export of bench artifacts.
+
+Every artifact's ``run`` output is plain dict/list data; this module
+serializes it (with numpy scalars coerced) so downstream tooling — plots,
+regression tracking, EXPERIMENTS.md generation — can consume the results
+without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .harness import BenchConfig
+
+
+def _coerce(obj):
+    if isinstance(obj, dict):
+        return {str(k): _coerce(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_coerce(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def export_artifact(name: str, output_dir: str | Path,
+                    config: BenchConfig | None = None) -> Path:
+    """Run one artifact and write ``<output_dir>/<name>.json``.
+
+    The file carries the rows plus the configuration used, so results are
+    self-describing.
+    """
+    from . import ARTIFACTS
+
+    if name not in ARTIFACTS:
+        raise KeyError(f"unknown artifact {name!r}; known: {', '.join(ARTIFACTS)}")
+    config = config or BenchConfig()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+    rows = ARTIFACTS[name].run(config)
+    record = {
+        "artifact": name,
+        "config": {
+            "datasets": config.dataset_list(),
+            "repeats": config.repeats,
+            "timeout_seconds": config.timeout_seconds,
+            "threads": config.threads,
+        },
+        "generation_seconds": time.perf_counter() - t0,
+        "rows": _coerce(rows),
+    }
+    path = output_dir / f"{name}.json"
+    path.write_text(json.dumps(record, indent=2))
+    return path
+
+
+def export_all(output_dir: str | Path, config: BenchConfig | None = None,
+               names: list[str] | None = None) -> list[Path]:
+    """Export every (or the named) artifact; returns the written paths."""
+    from . import ARTIFACTS
+
+    targets = names if names is not None else list(ARTIFACTS)
+    return [export_artifact(n, output_dir, config) for n in targets]

@@ -1,0 +1,86 @@
+"""Figure 4: laziness ablation — prepopulate all vs. none vs. must.
+
+Slowdown (time relative to the *must*-prepopulation baseline) when hashed
+neighborhoods are built for every vertex up front ("all") or strictly on
+demand ("none").  Work-unit ratios are reported alongside wall time
+because at analogue scale Python's constant factors can drown small
+structural differences.
+
+Reproduction targets: "all" is clearly harmful on graphs whose search
+never touches most neighborhoods (the paper sees up to 26× on uk);
+"none" hovers around 1 (paper geomean 0.996), sometimes winning when the
+heuristic already finds ω.
+"""
+
+from __future__ import annotations
+
+from .. import LazyMCConfig, PrepopulatePolicy, lazymc
+from ..datasets import load
+from .harness import BenchConfig, geometric_mean, repeat_timed
+from .reporting import render_table
+
+HEADERS = ["graph", "slow_all(t)", "slow_none(t)", "slow_all(w)",
+           "slow_none(w)", "built_must", "built_all"]
+
+POLICIES = [PrepopulatePolicy.MUST, PrepopulatePolicy.ALL, PrepopulatePolicy.NONE]
+
+
+def run(config: BenchConfig | None = None) -> list[dict]:
+    """Execute the sweep and return structured rows."""
+    config = config or BenchConfig()
+    rows = []
+    for name in config.dataset_list():
+        graph = load(name)
+        timings = {}
+        works = {}
+        built = {}
+        for policy in POLICIES:
+            cfg = LazyMCConfig(prepopulate=policy, threads=config.threads,
+                               max_seconds=config.timeout_seconds)
+            timed = repeat_timed(lambda c=cfg: lazymc(graph, c), config.repeats,
+                                 treat_as_timeout=lambda r: r.timed_out)
+            timings[policy] = timed.mean_seconds
+            works[policy] = timed.value.counters.work
+            built[policy] = timed.value.counters.neighborhoods_built_hash
+        base_t = timings[PrepopulatePolicy.MUST] or 1e-12
+        base_w = works[PrepopulatePolicy.MUST] or 1
+        rows.append({
+            "graph": name,
+            "slowdown_all_time": timings[PrepopulatePolicy.ALL] / base_t,
+            "slowdown_none_time": timings[PrepopulatePolicy.NONE] / base_t,
+            "slowdown_all_work": works[PrepopulatePolicy.ALL] / base_w,
+            "slowdown_none_work": works[PrepopulatePolicy.NONE] / base_w,
+            "built_must": built[PrepopulatePolicy.MUST],
+            "built_all": built[PrepopulatePolicy.ALL],
+        })
+    return rows
+
+
+def summary(rows: list[dict]) -> dict:
+    """Aggregate statistics over the rows."""
+    return {
+        "geomean_all_time": geometric_mean([r["slowdown_all_time"] for r in rows]),
+        "geomean_none_time": geometric_mean([r["slowdown_none_time"] for r in rows]),
+        "geomean_all_work": geometric_mean([r["slowdown_all_work"] for r in rows]),
+        "geomean_none_work": geometric_mean([r["slowdown_none_work"] for r in rows]),
+    }
+
+
+def render(rows: list[dict]) -> str:
+    """Render rows as the paper-style text table."""
+    table = [[r["graph"], r["slowdown_all_time"], r["slowdown_none_time"],
+              r["slowdown_all_work"], r["slowdown_none_work"],
+              r["built_must"], r["built_all"]] for r in rows]
+    s = summary(rows)
+    table.append(["geomean", s["geomean_all_time"], s["geomean_none_time"],
+                  s["geomean_all_work"], s["geomean_none_work"], "", ""])
+    return render_table(HEADERS, table,
+                        title="Fig. 4 — prepopulation slowdowns vs 'must' baseline",
+                        precision=3)
+
+
+def main(config: BenchConfig | None = None) -> str:
+    """Run and print; returns the rendered text."""
+    out = render(run(config))
+    print(out)
+    return out

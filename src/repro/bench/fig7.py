@@ -1,0 +1,87 @@
+"""Figure 7: parallel scalability and the adverse impact on total work.
+
+For thread counts 1..128 (simulated), per graph: the virtual makespan
+(work-unit time), speedup over one thread, total work, and work inflation
+relative to one thread, plus the four-phase breakdown.
+
+Reproduction targets (§V-F): speedup grows with threads but sublinearly;
+total work *increases* with threads because concurrently started tasks
+see stale incumbents (the paper measures up to 139× work inflation on
+warwiki against only 4.7× speedup; orkut is well-behaved at <= 1.82×
+inflation).  The simulated scheduler reproduces the mechanism —
+visibility-delayed incumbent publication — deterministically.
+"""
+
+from __future__ import annotations
+
+from .. import LazyMCConfig, lazymc
+from ..datasets import load
+from .harness import BenchConfig
+from .reporting import render_table
+
+THREAD_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+HEADERS = ["graph", "threads", "makespan", "speedup", "work", "inflation",
+           "pre%", "heur%", "syst%"]
+
+
+def run(config: BenchConfig | None = None,
+        thread_counts: list[int] | None = None) -> list[dict]:
+    """Execute the sweep and return structured rows."""
+    config = config or BenchConfig()
+    thread_counts = thread_counts or THREAD_COUNTS
+    rows = []
+    for name in config.dataset_list():
+        graph = load(name)
+        base_makespan = None
+        base_work = None
+        for t in thread_counts:
+            cfg = LazyMCConfig(threads=t, max_seconds=config.timeout_seconds)
+            result = lazymc(graph, cfg)
+            makespan = result.schedule.makespan
+            work = result.schedule.total_work
+            if base_makespan is None:
+                base_makespan = makespan or 1.0
+                base_work = work or 1
+            rows.append({
+                "graph": name,
+                "threads": t,
+                "makespan": makespan,
+                "speedup": base_makespan / makespan if makespan else 0.0,
+                "work": work,
+                "inflation": work / base_work,
+                "omega": result.omega,
+                "phase_work": dict(result.timers.work),
+            })
+    return rows
+
+
+def _phase_fractions(phase_work: dict) -> tuple[float, float, float]:
+    """Fold the six Alg. 1 phases into the paper's three Fig. 7 groups:
+    preprocessing (k-core + sort + prepopulation), heuristics, systematic."""
+    pre = sum(phase_work.get(k, 0) for k in ("kcore", "sort", "prepopulate"))
+    heur = sum(phase_work.get(k, 0)
+               for k in ("heuristic_degree", "heuristic_coreness"))
+    syst = phase_work.get("systematic", 0)
+    total = max(pre + heur + syst, 1)
+    return pre / total, heur / total, syst / total
+
+
+def render(rows: list[dict]) -> str:
+    """Render rows as the paper-style text table."""
+    table = []
+    for r in rows:
+        pre, heur, syst = _phase_fractions(r.get("phase_work", {}))
+        table.append([r["graph"], r["threads"], r["makespan"], r["speedup"],
+                      r["work"], r["inflation"],
+                      100 * pre, 100 * heur, 100 * syst])
+    return render_table(HEADERS, table,
+                        title="Fig. 7 — simulated parallel scaling "
+                              "(phase breakdown in work%)",
+                        precision=1)
+
+
+def main(config: BenchConfig | None = None) -> str:
+    """Run and print; returns the rendered text."""
+    out = render(run(config))
+    print(out)
+    return out

@@ -1,0 +1,135 @@
+"""Kernel-level microbenchmarks: representations and early exits.
+
+Not a paper artifact, but the measurement base under Figs. 4/5: compares
+the three set representations (hopscotch hash, sorted array, bit-parallel
+bitset) and quantifies the early-exit benefit as a function of how far the
+intersection outcome is from the threshold θ.
+
+All results are reported in *scanned elements* (deterministic) and wall
+nanoseconds per operation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..instrument import Counters
+from ..intersect import HopscotchSet, intersect_size_gt_bool, intersect_size_gt_val
+from ..intersect.bitset import BitsetSet
+from ..intersect.early_exit import EarlyExitConfig, SortedArraySet
+from .harness import BenchConfig
+from .reporting import render_table
+
+
+def _make_pair(universe: int, size_a: int, size_b: int, overlap: float, seed: int):
+    """Two sets with a controlled intersection fraction."""
+    rng = np.random.default_rng(seed)
+    common = rng.choice(universe, size=int(min(size_a, size_b) * overlap),
+                        replace=False)
+    rest = np.setdiff1d(np.arange(universe), common)
+    rng.shuffle(rest)
+    a_extra = rest[:size_a - len(common)]
+    b_extra = rest[size_a - len(common):size_a - len(common) + size_b - len(common)]
+    a = np.sort(np.concatenate([common, a_extra]))
+    b = np.sort(np.concatenate([common, b_extra]))
+    return a, b
+
+
+def run_representations(sizes=(32, 128, 512), overlaps=(0.1, 0.5, 0.9),
+                        universe: int = 4096, repeats: int = 50,
+                        seed: int = 0) -> list[dict]:
+    """Membership-probe cost of each representation during a full scan."""
+    rows = []
+    for size in sizes:
+        for overlap in overlaps:
+            a, b = _make_pair(universe, size, size, overlap, seed)
+            reps = {
+                "hopscotch": HopscotchSet.from_iterable(int(x) for x in b),
+                "sorted": SortedArraySet(b),
+                "bitset": BitsetSet.from_array(universe, b),
+                "pyset": set(int(x) for x in b),
+            }
+            row = {"size": size, "overlap": overlap}
+            for name, rep in reps.items():
+                t0 = time.perf_counter()
+                hits = 0
+                for _ in range(repeats):
+                    for x in a:
+                        if x in rep:
+                            hits += 1
+                dt = time.perf_counter() - t0
+                row[f"ns_{name}"] = 1e9 * dt / (repeats * len(a))
+            row["expected_hits"] = int(overlap * size)
+            rows.append(row)
+    return rows
+
+
+def run_early_exit_benefit(n: int = 256, universe: int = 4096,
+                           seed: int = 1) -> list[dict]:
+    """Scanned elements vs θ-margin for the early-exit kernels.
+
+    Sweeps the actual intersection size around θ and reports how many
+    elements each kernel examined — the mechanism behind Fig. 5.
+    """
+    rows = []
+    theta = n // 2
+    for actual_frac in (0.1, 0.3, 0.45, 0.55, 0.7, 0.9):
+        a, b = _make_pair(universe, n, n, actual_frac, seed)
+        bset = HopscotchSet.from_iterable(int(x) for x in b)
+        for kernel_name, runner in (
+            ("size_gt_val", lambda c: intersect_size_gt_val(a, bset, theta, c)),
+            ("size_gt_bool", lambda c: intersect_size_gt_bool(a, bset, theta, c)),
+        ):
+            on = Counters()
+            runner(on)
+            off = Counters()
+            cfg = EarlyExitConfig(enabled=False)
+            if kernel_name == "size_gt_val":
+                intersect_size_gt_val(a, bset, theta, off, cfg)
+            else:
+                intersect_size_gt_bool(a, bset, theta, off, cfg)
+            rows.append({
+                "kernel": kernel_name,
+                "actual_over_theta": actual_frac / 0.5,
+                "scanned_with_exits": on.elements_scanned,
+                "scanned_without": off.elements_scanned,
+                "saving": 1 - on.elements_scanned / max(off.elements_scanned, 1),
+            })
+    return rows
+
+
+def run(config: BenchConfig | None = None) -> dict:
+    """Execute the sweep and return structured rows."""
+    return {
+        "representations": run_representations(),
+        "early_exit": run_early_exit_benefit(),
+    }
+
+
+def render(results: dict) -> str:
+    """Render rows as the paper-style text table."""
+    parts = []
+    rows = results["representations"]
+    parts.append(render_table(
+        ["size", "overlap", "ns/probe hopscotch", "ns/probe sorted",
+         "ns/probe bitset", "ns/probe pyset"],
+        [[r["size"], f'{r["overlap"]:.1f}', r["ns_hopscotch"], r["ns_sorted"],
+          r["ns_bitset"], r["ns_pyset"]] for r in rows],
+        title="Micro — membership probe cost by representation", precision=0))
+    rows = results["early_exit"]
+    parts.append(render_table(
+        ["kernel", "actual/theta", "scanned (exits on)", "scanned (off)",
+         "saving"],
+        [[r["kernel"], f'{r["actual_over_theta"]:.2f}', r["scanned_with_exits"],
+          r["scanned_without"], f'{r["saving"]:.3f}'] for r in rows],
+        title="Micro — early-exit scan savings vs theta margin"))
+    return "\n\n".join(parts)
+
+
+def main(config: BenchConfig | None = None) -> str:
+    """Run and print; returns the rendered text."""
+    out = render(run(config))
+    print(out)
+    return out

@@ -1,0 +1,135 @@
+"""Regression comparison of exported bench artifacts.
+
+``lazymc bench <artifact> --output dir/`` writes self-describing JSON; this
+module diffs two such exports — a baseline and a candidate — and reports
+per-row drift on the numeric columns.  Intended for CI: export once on a
+known-good revision, re-export on a change, fail when work counts move
+beyond tolerance (wall-clock fields are ignored by default because they
+are machine-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Wall-clock-ish keys: machine-dependent, excluded unless asked for.
+_TIME_KEYS = ("t_", "dev_", "wall", "seconds", "time", "ns_",
+              "generation")
+
+
+@dataclass
+class Drift:
+    """One numeric field that moved beyond tolerance."""
+
+    row_key: str
+    column: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+    def __str__(self) -> str:
+        return (f"{self.row_key}.{self.column}: {self.baseline} -> "
+                f"{self.candidate} ({self.ratio:.3f}x)")
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one artifact comparison."""
+
+    artifact: str
+    drifts: list[Drift] = field(default_factory=list)
+    missing_rows: list[str] = field(default_factory=list)
+    new_rows: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing moved beyond tolerance."""
+        return not self.drifts and not self.missing_rows and not self.new_rows
+
+    def __str__(self) -> str:
+        if self.clean:
+            return f"{self.artifact}: clean"
+        lines = [f"{self.artifact}: {len(self.drifts)} drifts"]
+        lines += [f"  {d}" for d in self.drifts]
+        if self.missing_rows:
+            lines.append(f"  rows missing: {', '.join(self.missing_rows)}")
+        if self.new_rows:
+            lines.append(f"  rows new: {', '.join(self.new_rows)}")
+        return "\n".join(lines)
+
+
+def _is_time_key(key: str) -> bool:
+    return any(key.startswith(t) or t in key for t in _TIME_KEYS)
+
+
+def _row_key(row: dict, index: int) -> str:
+    for k in ("graph", "kernel", "name"):
+        if k in row:
+            extra = f"@{row['threads']}" if "threads" in row else ""
+            return f"{row[k]}{extra}"
+    return f"row{index}"
+
+
+def _numeric_items(row: dict, include_time: bool, prefix: str = ""):
+    for key, value in row.items():
+        full = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            if include_time or not _is_time_key(full):
+                yield full, float(value)
+        elif isinstance(value, dict):
+            yield from _numeric_items(value, include_time, prefix=f"{full}.")
+
+
+def compare(baseline_path: str | Path, candidate_path: str | Path,
+            rel_tolerance: float = 0.01,
+            include_time: bool = False) -> RegressionReport:
+    """Diff two exported artifact files.
+
+    Numeric fields whose relative change exceeds ``rel_tolerance`` are
+    reported as drifts.  Deterministic work counters should be *exactly*
+    stable across runs on the same code, so the default tolerance mainly
+    absorbs float formatting.
+    """
+    base = json.loads(Path(baseline_path).read_text())
+    cand = json.loads(Path(candidate_path).read_text())
+    if base.get("artifact") != cand.get("artifact"):
+        raise ValueError(
+            f"artifact mismatch: {base.get('artifact')} vs {cand.get('artifact')}")
+    report = RegressionReport(artifact=base["artifact"])
+
+    base_rows = {_row_key(r, i): r for i, r in enumerate(base["rows"])}
+    cand_rows = {_row_key(r, i): r for i, r in enumerate(cand["rows"])}
+    report.missing_rows = sorted(set(base_rows) - set(cand_rows))
+    report.new_rows = sorted(set(cand_rows) - set(base_rows))
+
+    for key in sorted(set(base_rows) & set(cand_rows)):
+        b = dict(_numeric_items(base_rows[key], include_time))
+        c = dict(_numeric_items(cand_rows[key], include_time))
+        for column in sorted(set(b) & set(c)):
+            bv, cv = b[column], c[column]
+            scale = max(abs(bv), abs(cv), 1e-12)
+            if abs(bv - cv) / scale > rel_tolerance:
+                report.drifts.append(Drift(key, column, bv, cv))
+    return report
+
+
+def compare_directories(baseline_dir: str | Path, candidate_dir: str | Path,
+                        rel_tolerance: float = 0.01) -> list[RegressionReport]:
+    """Compare every artifact JSON present in both directories."""
+    baseline_dir, candidate_dir = Path(baseline_dir), Path(candidate_dir)
+    reports = []
+    for base_file in sorted(baseline_dir.glob("*.json")):
+        cand_file = candidate_dir / base_file.name
+        if cand_file.exists():
+            reports.append(compare(base_file, cand_file, rel_tolerance))
+    return reports

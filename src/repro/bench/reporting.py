@@ -1,0 +1,64 @@
+"""Plain-text table rendering for bench output.
+
+Deliberately dependency-free: benches print paper-style monospace tables to
+stdout and EXPERIMENTS.md.  Cells may be str, int, float or None (rendered
+as the paper's "T.O."/"x" placeholders).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(cell, precision: int = 3) -> str:
+    if cell is None:
+        return "T.O."
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) < 0.001:
+            return f"{cell:.1e}"
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None, precision: int = 3) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) if _is_numeric(c) else c.ljust(widths[i])
+                               for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _is_numeric(s: str) -> bool:
+    try:
+        float(s.replace(",", ""))
+        return True
+    except ValueError:
+        return s in ("T.O.", "x")
+
+
+def rows_to_markdown(headers: Sequence[str], rows: Sequence[Sequence],
+                     precision: int = 3) -> str:
+    """Same data as a GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(c, precision) for c in row) + " |")
+    return "\n".join(out)

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Usage::
+
+    lazymc solve <dataset-or-file> [--threads N] [--timeout S] [--algo NAME]
+    lazymc bench <artifact|all> [--datasets a,b,c] [--repeats N] [--timeout S]
+    lazymc datasets
+    lazymc characterize <dataset-or-file>
+
+``solve`` accepts either a registry dataset name or a path to an edge-list /
+DIMACS / METIS file (dispatch by extension: .col/.clq -> DIMACS,
+.metis/.graph -> METIS, anything else -> edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import LazyMCConfig, lazymc
+from .baselines import domega, mcbrb, pmc
+from .datasets import REGISTRY, load, names
+from .graph.csr import CSRGraph
+
+
+def _load_graph(target: str) -> CSRGraph:
+    if target in REGISTRY:
+        return load(target)
+    path = Path(target)
+    if not path.exists():
+        raise SystemExit(f"not a dataset name or file: {target!r}; "
+                         f"datasets: {', '.join(names())}")
+    from .graph.io import read_dimacs, read_edge_list, read_metis
+
+    suffix = path.suffix.lower().lstrip(".")
+    if suffix in ("col", "clq", "dimacs"):
+        return read_dimacs(path)
+    if suffix in ("metis", "graph"):
+        return read_metis(path)
+    return read_edge_list(path)
+
+
+def _cmd_solve(args) -> int:
+    graph = _load_graph(args.target)
+    if args.algo == "lazymc":
+        result = lazymc(graph, LazyMCConfig(threads=args.threads,
+                                            max_seconds=args.timeout))
+        if args.json:
+            import json
+
+            from .analysis import to_dict
+
+            print(json.dumps(to_dict(graph, result), indent=2))
+            return 0
+        print(f"omega      = {result.omega}")
+        print(f"clique     = {result.clique}")
+        print(f"degeneracy = {result.degeneracy}  gap = {result.gap}")
+        print(f"heuristics = degree {result.heuristic_degree_size}, "
+              f"coreness {result.heuristic_coreness_size}")
+        print(f"work       = {result.counters.work}  "
+              f"wall = {result.wall_seconds:.3f}s  timed_out = {result.timed_out}")
+    else:
+        solver = {
+            "pmc": lambda g: pmc(g, threads=args.threads, max_seconds=args.timeout),
+            "domega-ls": lambda g: domega(g, "ls", max_seconds=args.timeout),
+            "domega-bs": lambda g: domega(g, "bs", max_seconds=args.timeout),
+            "mcbrb": lambda g: mcbrb(g, max_seconds=args.timeout),
+        }[args.algo]
+        result = solver(graph)
+        print(f"omega  = {result.omega}")
+        print(f"clique = {result.clique}")
+        print(f"wall   = {result.wall_seconds:.3f}s  timed_out = {result.timed_out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import ARTIFACTS
+    from .bench.harness import BenchConfig
+
+    config = BenchConfig(
+        datasets=tuple(args.datasets.split(",")) if args.datasets else (),
+        repeats=args.repeats,
+        timeout_seconds=args.timeout,
+        threads=args.threads,
+    )
+    targets = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for target in targets:
+        if target not in ARTIFACTS:
+            raise SystemExit(f"unknown artifact {target!r}; "
+                             f"known: {', '.join(ARTIFACTS)}, all")
+        if args.output:
+            from .bench.export import export_artifact
+
+            path = export_artifact(target, args.output, config)
+            print(f"wrote {path}")
+        else:
+            ARTIFACTS[target].main(config)
+            print()
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from .datasets import spec
+
+    if args.export:
+        from .graph.io import write_edge_list
+
+        out = Path(args.export)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in names():
+            path = out / f"{name}.txt"
+            write_edge_list(load(name), path)
+            print(f"wrote {path}")
+        return 0
+    for name in names():
+        s = spec(name)
+        if args.profile:
+            from .graph.metrics import profile
+
+            print(f"{name:14s} {s.family:10s} {profile(load(name))}")
+        else:
+            print(f"{name:14s} {s.family:10s} {s.description}")
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    from .bench.regress import compare, compare_directories
+
+    base, cand = Path(args.baseline), Path(args.candidate)
+    if base.is_dir():
+        reports = compare_directories(base, cand, args.tolerance)
+    else:
+        reports = [compare(base, cand, args.tolerance)]
+    dirty = 0
+    for report in reports:
+        print(report)
+        dirty += 0 if report.clean else 1
+    return 1 if dirty else 0
+
+
+def _cmd_characterize(args) -> int:
+    from .graph import coreness, may_must_report
+
+    graph = _load_graph(args.target)
+    core = coreness(graph)
+    result = lazymc(graph, LazyMCConfig(max_seconds=args.timeout))
+    rep = may_must_report(graph, result.omega, core=core)
+    print(f"n = {graph.n}  m = {graph.m}  max_degree = {graph.max_degree()}")
+    print(f"degeneracy = {rep.degeneracy}  omega = {result.omega}  gap = {rep.gap}")
+    print(f"must: {rep.must_vertices} vertices ({100*rep.must_vertex_fraction:.1f}%), "
+          f"{rep.must_edges} edges ({100*rep.must_edge_fraction:.1f}%)")
+    print(f"may:  {rep.may_vertices} vertices ({100*rep.may_vertex_fraction:.1f}%), "
+          f"{rep.may_edges} edges ({100*rep.may_edge_fraction:.1f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``lazymc`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="lazymc",
+        description="LazyMC maximum clique reproduction (IPDPS 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve one graph")
+    p.add_argument("target", help="dataset name or graph file")
+    p.add_argument("--algo", default="lazymc",
+                   choices=["lazymc", "pmc", "domega-ls", "domega-bs", "mcbrb"])
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable record (lazymc algo only)")
+    p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("bench", help="regenerate a table/figure")
+    p.add_argument("artifact", help="table1..3, fig1..7, or all")
+    p.add_argument("--datasets", default=None, help="comma-separated subset")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--output", default=None,
+                   help="write JSON to this directory instead of printing")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("datasets", help="list registry datasets")
+    p.add_argument("--export", default=None,
+                   help="write every analogue as an edge list into this dir")
+    p.add_argument("--profile", action="store_true",
+                   help="print structural metrics per dataset (slow)")
+    p.set_defaults(fn=_cmd_datasets)
+
+    p = sub.add_parser("regress", help="diff two exported bench artifacts")
+    p.add_argument("baseline", help="baseline JSON file or directory")
+    p.add_argument("candidate", help="candidate JSON file or directory")
+    p.add_argument("--tolerance", type=float, default=0.01)
+    p.set_defaults(fn=_cmd_regress)
+
+    p = sub.add_parser("characterize", help="graph statistics + may/must report")
+    p.add_argument("target")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.set_defaults(fn=_cmd_characterize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

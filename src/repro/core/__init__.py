@@ -1,0 +1,36 @@
+"""LazyMC: the paper's maximum clique algorithm (Alg. 1).
+
+Public entry point::
+
+    from repro import lazymc, LazyMCConfig
+    result = lazymc(graph)
+    result.omega, result.clique
+
+The solver composes the pieces of §IV: degree-based heuristic search
+(Alg. 5), incumbent-bounded k-core + (coreness, degree) ordering (§IV-F),
+the lazy filtered hashed relabelled graph (Alg. 2), coreness-based heuristic
+search (Alg. 6), and systematic search (Alg. 7) whose per-vertex
+``NeighborSearch`` (Alg. 8) filters candidates and dispatches to the MC or
+k-VC sub-solver by density (§IV-E).
+"""
+
+from .config import LazyMCConfig, PrepopulatePolicy
+from .lazygraph import LazyGraph
+from .heuristics import degree_based_heuristic_search, coreness_based_heuristic_search
+from .filtering import neighbor_search, FilterFunnel
+from .systematic import systematic_search
+from .solver import lazymc, LazyMC, MCResult
+
+__all__ = [
+    "LazyMCConfig",
+    "PrepopulatePolicy",
+    "LazyGraph",
+    "degree_based_heuristic_search",
+    "coreness_based_heuristic_search",
+    "neighbor_search",
+    "FilterFunnel",
+    "systematic_search",
+    "lazymc",
+    "LazyMC",
+    "MCResult",
+]

@@ -1,0 +1,97 @@
+"""LazyMC configuration: every tunable and every ablation toggle.
+
+Each field maps to a design decision the paper measures:
+
+* ``prepopulate`` — Fig. 4 laziness ablation.
+* ``early_exit`` — Fig. 5 intersection ablation.
+* ``density_threshold`` — Fig. 6 algorithmic-choice sweep (φ in Alg. 8).
+* ``filter_rounds`` — the "two iterations of degree-based filtering are
+  sufficient" claim of §IV-D.
+* ``seed_per_level`` — the one-random-vertex-per-level seeding pass of
+  Alg. 7 lines 2-5.
+* ``hash_degree_threshold`` — the degree-16 representation crossover of
+  §IV-A.
+* ``threads`` — simulated worker count (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..intersect.early_exit import EarlyExitConfig
+
+
+class PrepopulatePolicy(str, enum.Enum):
+    """Which neighborhoods to construct eagerly at lazy-graph creation.
+
+    ``MUST`` (the paper's baseline) prepopulates the *must* subgraph —
+    vertices whose coreness is at least the incumbent size after the
+    degree-based heuristic.  ``ALL`` and ``NONE`` are the Fig. 4 ablation
+    extremes.
+    """
+
+    MUST = "must"
+    ALL = "all"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class LazyMCConfig:
+    """Complete LazyMC parameterization; defaults follow the paper."""
+
+    # Laziness (Fig. 4)
+    prepopulate: PrepopulatePolicy = PrepopulatePolicy.MUST
+    # Early-exit intersections (Fig. 5)
+    early_exit: EarlyExitConfig = field(default_factory=EarlyExitConfig)
+    # Algorithmic choice: k-VC when induced density >= φ (Fig. 3/6).
+    density_threshold: float = 0.5
+    use_kvc: bool = True
+    # Degree-filter repetitions in NeighborSearch (§IV-D: 2 suffices).
+    filter_rounds: int = 2
+    # Alg. 7: seed one low-coreness vertex per degeneracy level first.
+    seed_per_level: bool = True
+    # §IV-A: hash representation for degree > threshold, sorted otherwise.
+    hash_degree_threshold: int = 16
+    # §III-C: optional greedy-coloring prune of the filtered candidate set
+    # before dispatching a sub-solver (χ(G[N]) + 1 <= |C*| refutes the
+    # neighborhood).  Off by default — the MC sub-solver colors anyway, so
+    # this only pays when it refutes outright.
+    coloring_filter: bool = False
+    # Local-search improvement of the degree heuristic's clique before
+    # the k-core bound is computed (extension; §II-A heuristic family).
+    local_search: bool = False
+    local_search_moves: int = 100
+    # MC sub-solver extensions (both off by default = the paper's solver):
+    # BRB-style universal-vertex peeling and a DSATUR root bound.
+    mc_reduce_universal: bool = False
+    mc_root_bound: str = "none"  # "none" | "dsatur" 
+    # Alg. 5: number of top-degree seeds for degree-based heuristic search.
+    # The paper does not fix K; 8 balances heuristic quality against the
+    # O(|N|^2)-per-extension argmax cost at analogue scale.
+    heuristic_top_k: int = 8
+    # Simulated parallelism (§V-F).
+    threads: int = 1
+    # Budgets (substitute for the paper's 30-minute timeout).
+    max_work: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.density_threshold <= 1.0:
+            raise ValueError("density_threshold must be in [0, 1]")
+        if self.filter_rounds < 0:
+            raise ValueError("filter_rounds must be >= 0")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.heuristic_top_k < 1:
+            raise ValueError("heuristic_top_k must be >= 1")
+        if self.mc_root_bound not in ("none", "dsatur"):
+            raise ValueError("mc_root_bound must be 'none' or 'dsatur'")
+        if self.local_search_moves < 0:
+            raise ValueError("local_search_moves must be >= 0")
+
+    def replace(self, **changes) -> "LazyMCConfig":
+        """Functional update (dataclasses.replace with a friendlier name)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,253 @@
+"""NeighborSearch: filtered search of one right-neighborhood (Alg. 8).
+
+The work-avoidance core of the paper.  Most right-neighborhoods contain no
+clique beating the incumbent; NeighborSearch is built to *prove that
+cheaply* before any branching happens:
+
+1. **coreness filter** (line 2) — keep only right-neighbors whose coreness
+   allows membership in a clique larger than the incumbent;
+2. **filter 1** (line 3) — give up if fewer than |C*| candidates remain;
+3. **filter 2** (lines 4-7) — drop candidates with insufficient degree
+   *inside the candidate set*, established by the boolean early-exit
+   kernel with θ = |C*| - 2;
+4. **filter 3** (lines 8-13) — repeat with the exact-size kernel, which
+   additionally accumulates the induced edge count m̂ for free;
+5. **dispatch** (lines 14-17) — if the surviving subgraph's density
+   exceeds φ, solve it as k-vertex cover on the complement, else as direct
+   MC branch and bound.
+
+The per-stage survival counts form the Table III funnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..instrument import Counters, WorkBudget
+from ..intersect.early_exit import intersect_size_gt_bool, intersect_size_gt_val
+from ..intersect.hashset import HopscotchSet
+from ..mc.branch_bound import MCSubgraphSolver
+from ..parallel.incumbent import IncumbentView
+from ..vc.clique_via_vc import max_clique_via_vc
+from .config import LazyMCConfig
+from .lazygraph import LazyGraph
+
+
+@dataclass
+class FilterFunnel:
+    """Neighborhood survival counts per filtering stage (Table III).
+
+    Each field counts right-neighborhoods that *survived* that stage (and
+    so entered the next); ``searched`` are those reaching a sub-solver.
+    ``density_work`` histograms sub-solver work by induced density decile
+    for the Fig. 6 analysis.
+    """
+
+    considered: int = 0
+    after_coreness: int = 0
+    after_filter1: int = 0
+    after_filter2: int = 0
+    after_filter3: int = 0
+    searched: int = 0
+    searched_mc: int = 0
+    searched_kvc: int = 0
+    work_total: int = 0
+    work_mc: int = 0
+    work_kvc: int = 0
+    density_work: dict = field(default_factory=dict)
+
+    @property
+    def work_filtering(self) -> int:
+        """Work spent proving neighborhoods irrelevant (Fig. 3's filter bar)."""
+        return self.work_total - self.work_mc - self.work_kvc
+
+    def merge(self, other: "FilterFunnel") -> None:
+        """Accumulate another funnel (wave/task merging)."""
+        self.considered += other.considered
+        self.after_coreness += other.after_coreness
+        self.after_filter1 += other.after_filter1
+        self.after_filter2 += other.after_filter2
+        self.after_filter3 += other.after_filter3
+        self.searched += other.searched
+        self.searched_mc += other.searched_mc
+        self.searched_kvc += other.searched_kvc
+        self.work_total += other.work_total
+        self.work_mc += other.work_mc
+        self.work_kvc += other.work_kvc
+        for k, v in other.density_work.items():
+            self.density_work[k] = self.density_work.get(k, 0) + v
+
+    def per_mille(self, n_vertices: int) -> dict:
+        """Table III normalization: neighborhoods per thousand vertices."""
+        scale = 1000.0 / n_vertices if n_vertices else 0.0
+        return {
+            "coreness": self.after_coreness * scale,
+            "filter1": self.after_filter1 * scale,
+            "filter2": self.after_filter2 * scale,
+            "filter3": self.after_filter3 * scale,
+        }
+
+
+def _induced_adjacency(lazy: LazyGraph, candidates: np.ndarray, min_core: int,
+                       counters: Counters) -> list[set]:
+    """Cut out G[N] as local-id set adjacency using hashed neighborhoods."""
+    index = {int(u): i for i, u in enumerate(candidates)}
+    adj: list[set] = [set() for _ in candidates]
+    for i, u in enumerate(candidates):
+        row = lazy.neighborhood_array(int(u), min_core)
+        counters.elements_scanned += len(row)
+        for w in row:
+            j = index.get(int(w))
+            if j is not None and j != i:
+                adj[i].add(j)
+    return adj
+
+
+def neighbor_search(lazy: LazyGraph, v: int, view: IncumbentView,
+                    config: LazyMCConfig, counters: Counters,
+                    funnel: FilterFunnel, budget: WorkBudget | None = None) -> None:
+    """Search the right-neighborhood of relabelled vertex ``v`` (Alg. 8).
+
+    Improvements are offered to ``view``; the caller publishes them.
+    """
+    if budget is not None:
+        budget.check()
+    funnel.considered += 1
+    call_work_start = counters.work
+    try:
+        _neighbor_search_body(lazy, v, view, config, counters, funnel, budget)
+    finally:
+        funnel.work_total += counters.work - call_work_start
+
+
+def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
+                          config: LazyMCConfig, counters: Counters,
+                          funnel: FilterFunnel,
+                          budget: WorkBudget | None) -> None:
+    cstar = view.size
+
+    # Line 2: coreness-filtered right-neighborhood.
+    cand = lazy.right_neighborhood(v, cstar)
+    funnel.after_coreness += 1
+
+    # Filter 1 (line 3): the candidate set must be able to supply |C*|
+    # vertices on top of v.
+    if len(cand) < cstar:
+        return
+    funnel.after_filter1 += 1
+
+    # Degree filters.  The boolean kernel runs for rounds 1..r-1, the
+    # exact-size kernel (which also yields m̂ for free) for the final
+    # round — the paper's default r=2 is exactly filter 2 + filter 3.
+    m_hat = 0
+    rounds = config.filter_rounds
+    cand_set: HopscotchSet | None = None
+    for rnd in range(rounds):
+        if cand_set is None:
+            cand_set = HopscotchSet.from_iterable(int(x) for x in cand)
+            counters.hash_inserts += len(cand)
+        final_round = (rnd == rounds - 1)
+        survivors = []
+        m_hat = 0
+        # `alive` mirrors the evolving N so the smaller-side orientation
+        # can snapshot it cheaply; removals inside the round are visible
+        # to later candidates exactly as in Alg. 8.
+        alive = list(int(x) for x in cand)
+        removed: set[int] = set()
+        for u in cand:
+            u = int(u)
+            row = lazy.neighborhood_array(u, cstar)
+            # Degree test d_N(u) > cstar - 2 is symmetric in its two sets;
+            # scan the smaller side and probe the other's hash rep (§IV-A:
+            # intersections go through the hash set).  Scanning N instead
+            # of N_G(u) also tightens the early-exit tolerance.
+            if len(row) <= len(cand_set):
+                a_side, b_side = row, cand_set
+            else:
+                a_side = np.fromiter((w for w in alive if w not in removed),
+                                     dtype=np.int64,
+                                     count=len(alive) - len(removed))
+                b_side = lazy.membership_set(u, cstar)
+            if final_round:
+                d = intersect_size_gt_val(a_side, b_side, cstar - 2,
+                                          counters, config.early_exit)
+                # Both orientations count u itself never (u not in N_G(u));
+                # when scanning N, u is in A but misses B, same answer.
+                if d > cstar - 2:
+                    survivors.append(u)
+                    m_hat += d
+                else:
+                    cand_set.discard(u)
+                    removed.add(u)
+            else:
+                if intersect_size_gt_bool(a_side, b_side, cstar - 2,
+                                          counters, config.early_exit):
+                    survivors.append(u)
+                else:
+                    cand_set.discard(u)
+                    removed.add(u)
+        cand = np.asarray(survivors, dtype=np.int64)
+        if len(cand) < cstar:
+            if rnd == 0 and rounds == 1:
+                pass  # a lone val round is both the f2 and f3 stage
+            return
+        if rnd == 0:
+            funnel.after_filter2 += 1
+    if rounds >= 1:
+        funnel.after_filter3 += 1
+        if rounds == 1:
+            pass  # after_filter2 was already counted by the rnd==0 branch
+
+    # Density from m̂ (directed count over survivors).
+    k = len(cand)
+    if rounds >= 1 and k > 1:
+        density = m_hat / (k * (k - 1))
+    else:
+        density = None  # unknown without a val round; computed below
+
+    adj = _induced_adjacency(lazy, cand, cstar, counters)
+    if density is None:
+        edges2 = sum(len(s) for s in adj)
+        density = edges2 / (k * (k - 1)) if k > 1 else 1.0
+
+    # Optional coloring prune (§III-C): a proper coloring of G[N] with
+    # fewer than |C*| colors proves no clique through v can beat the
+    # incumbent — one linear pass instead of a sub-solve.
+    if config.coloring_filter:
+        from ..mc.coloring import greedy_coloring
+
+        colors = greedy_coloring(adj, sorted(range(k), key=lambda i: -len(adj[i])),
+                                 counters=counters)
+        if colors and max(colors.values()) + 1 <= cstar:
+            return
+
+    funnel.searched += 1
+    use_kvc = config.use_kvc and density >= config.density_threshold
+    if use_kvc:
+        funnel.searched_kvc += 1
+    else:
+        funnel.searched_mc += 1
+        counters.mc_subsolves += 1
+
+    work_before = counters.work
+    if use_kvc:
+        found = max_clique_via_vc(adj, lower_bound=cstar - 1,
+                                  counters=counters, budget=budget)
+    else:
+        solver = MCSubgraphSolver(counters=counters, budget=budget,
+                                  root_bound=config.mc_root_bound,
+                                  reduce_universal=config.mc_reduce_universal)
+        found = solver.solve(adj, lower_bound=cstar - 1)
+    sub_work = counters.work - work_before
+    if use_kvc:
+        funnel.work_kvc += sub_work
+    else:
+        funnel.work_mc += sub_work
+    bucket = min(int(density * 10), 9)
+    funnel.density_work[bucket] = funnel.density_work.get(bucket, 0) + sub_work
+
+    if found is not None and len(found) + 1 > cstar:
+        clique_relabelled = [v] + [int(cand[i]) for i in found]
+        view.offer(lazy.to_original(clique_relabelled))

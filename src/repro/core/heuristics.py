@@ -1,0 +1,125 @@
+"""Heuristic clique searches (Alg. 5 and Alg. 6).
+
+Both are greedy constructions that prime the incumbent before (and between)
+the expensive phases; a good early incumbent is what powers every
+subsequent filter (§II-A).  Table I's ω̂_d and ω̂_h columns report what each
+finds.
+
+* **Degree-based** (Alg. 5) runs on the *original* graph before any k-core
+  work, growing a clique from each of the top-K degree vertices by always
+  adding the candidate with the highest degree inside the shrinking
+  candidate set — the argmax computed with ``intersect_size_gt_val`` under
+  a running-maximum threshold, so most candidates' intersections exit
+  early.
+* **Coreness-based** (Alg. 6) runs on the lazy relabelled graph, one seed
+  per coreness level, always extending with the highest-numbered (=
+  highest-coreness) candidate; the candidate set is narrowed with
+  ``intersect_gt`` under the θ = |C*| - |C| bound, abandoning seeds that
+  provably cannot beat the incumbent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..instrument import Counters
+from ..intersect.early_exit import SortedArraySet, intersect_gt, intersect_size_gt_val
+from ..parallel.incumbent import Incumbent, IncumbentView
+from ..parallel.scheduler import SimulatedScheduler
+from .config import LazyMCConfig
+from .lazygraph import LazyGraph
+
+
+def degree_based_heuristic_search(graph: CSRGraph, incumbent: Incumbent,
+                                  config: LazyMCConfig,
+                                  scheduler: SimulatedScheduler) -> None:
+    """Alg. 5: greedy max-degree clique growth from top-K degree seeds."""
+    n = graph.n
+    if n == 0:
+        return
+    degrees = graph.degrees
+    k = min(config.heuristic_top_k, n)
+    # Top-K vertices by degree (argpartition = the "identify top-K" step).
+    top = np.argpartition(degrees, n - k)[n - k:]
+    top = top[np.argsort(-degrees[top], kind="stable")]
+
+    def run(v: int, view: IncumbentView, counters: Counters) -> None:
+        # Work-avoidance on the seeds themselves: a seed inside the
+        # already-known incumbent clique would greedily re-derive that
+        # same clique (top-degree seeds cluster inside dominant cliques).
+        if int(v) in view.clique:
+            return
+        nbrs = graph.neighbors(int(v))
+        counters.elements_scanned += len(nbrs)
+        cand = nbrs[degrees[nbrs] >= view.size]  # degree pre-filter (line 4)
+        clique = [int(v)]
+        buf = np.empty(len(cand), dtype=np.int64)
+        while len(cand):
+            cand_set = set(int(x) for x in cand)
+            counters.hash_inserts += len(cand)
+            best_u = -1
+            best_d = -1  # running maximum = θ for every probe
+            for w in cand:
+                w = int(w)
+                row = graph.neighbors(w)
+                # Induced degree |cand ∩ N(w)| is symmetric: scan the
+                # smaller side so the running-max threshold exits sooner.
+                if len(row) <= len(cand):
+                    d = intersect_size_gt_val(row, cand_set, best_d,
+                                              counters, config.early_exit)
+                else:
+                    d = intersect_size_gt_val(cand, SortedArraySet(row),
+                                              best_d, counters,
+                                              config.early_exit)
+                if d > best_d:
+                    best_d = d
+                    best_u = w
+            if best_u < 0:  # all probes refused: candidates are isolated
+                best_u = int(cand[0])
+            clique.append(best_u)
+            # cand <- cand ∩ N(best_u); θ = -1 always materializes.
+            size = intersect_gt(cand, SortedArraySet(graph.neighbors(best_u)),
+                                buf, -1, counters, config.early_exit)
+            cand = buf[:size].copy() if size > 0 else np.empty(0, dtype=np.int64)
+        view.offer(clique)
+
+    scheduler.parfor(list(map(int, top)), run, incumbent)
+
+
+def coreness_based_heuristic_search(lazy: LazyGraph, incumbent: Incumbent,
+                                    config: LazyMCConfig,
+                                    scheduler: SimulatedScheduler) -> None:
+    """Alg. 6: one greedy descent per coreness level, highest level first."""
+    core = lazy.core
+    if lazy.n == 0:
+        return
+    degeneracy = lazy.degeneracy()
+    if degeneracy < 0:
+        return
+    # Lowest-numbered vertex of each level; core is non-decreasing in the
+    # relabelled order, so the first occurrence per value suffices.
+    first_at_level: dict[int, int] = {}
+    for v in range(lazy.n):
+        c = int(core[v])
+        if c >= 0 and c not in first_at_level:
+            first_at_level[c] = v
+    levels = [k for k in range(degeneracy, 0, -1) if k in first_at_level]
+
+    def run(level: int, view: IncumbentView, counters: Counters) -> None:
+        v = first_at_level[level]
+        cand = lazy.right_neighborhood(v, view.size)
+        clique = [v]
+        buf = np.empty(len(cand), dtype=np.int64)
+        while len(cand):
+            u = int(cand[-1])  # highest-numbered = highest coreness
+            theta = view.size - (len(clique) + 1)
+            rep = lazy.membership_set(u, view.size)
+            size = intersect_gt(cand, rep, buf, theta, counters, config.early_exit)
+            clique.append(u)
+            if size < 0:
+                break  # cannot beat the incumbent through this seed
+            cand = buf[:size].copy()
+        view.offer(lazy.to_original(clique))
+
+    scheduler.parfor(levels, run, incumbent)

@@ -1,0 +1,198 @@
+"""The lazy filtered hashed relabelled graph (Alg. 2, §IV-A).
+
+Four ideas in one data structure:
+
+* **Relabelled** — vertices carry the (coreness, degree) order's ids, so
+  "right-neighborhood" is just "ids greater than mine"; the expensive
+  gather through the permutation happens per neighborhood, not per query.
+* **Lazy** — a neighborhood representation is built the first time it is
+  asked for and memoized; unvisited vertices (the majority, §III-A) never
+  pay relabelling or hashing.
+* **Filtered** — at construction time, neighbors whose coreness is below
+  the *current* incumbent size are dropped: they can never again matter.
+  Representations built at different times may therefore differ in size;
+  this is harmless because the dropped vertices are permanently dead to
+  the search (§IV-A).
+* **Hashed** — high-degree neighborhoods get a hopscotch hash set for O(1)
+  membership in the intersection kernels; low-degree ones get a sorted
+  array.  Both may coexist; intersections prefer the hash form.
+
+Concurrency follows the paper: double-checked locking around construction,
+with each representation read-only afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.ordering import VertexOrder
+from ..instrument import Counters
+from ..intersect.early_exit import SortedArraySet
+from ..intersect.hashset import HopscotchSet
+from ..parallel.locks import StripedLocks
+from .config import LazyMCConfig, PrepopulatePolicy
+
+_FLAG_HASH = 1
+_FLAG_SORTED = 2
+
+
+class LazyGraph:
+    """Lazy filtered hashed relabelled view of ``graph``.
+
+    All vertex ids exposed by this class are *relabelled* ids; use
+    ``order`` to translate.  ``core`` is indexed by relabelled id and holds
+    -1 for vertices excluded by the incumbent-bounded k-core computation.
+    """
+
+    def __init__(self, graph: CSRGraph, order: VertexOrder, core_original: np.ndarray,
+                 config: LazyMCConfig | None = None,
+                 counters: Counters | None = None):
+        self.graph = graph
+        self.order = order
+        self.core = np.asarray(core_original)[order.new_to_old]
+        self.config = config if config is not None else LazyMCConfig()
+        self.counters = counters if counters is not None else Counters()
+        n = graph.n
+        self._flags = np.zeros(n, dtype=np.uint8)
+        self._hash_reps: list[HopscotchSet | None] = [None] * n
+        self._sorted_reps: list[np.ndarray | None] = [None] * n
+        self._locks = StripedLocks(64)
+        # Degrees in relabelled space (original degrees permuted).
+        self.degrees = graph.degrees[order.new_to_old]
+
+    # -- construction -------------------------------------------------------------
+
+    def _filtered_relabelled_neighbors(self, v: int, min_core: int) -> np.ndarray:
+        """Gather + relabel + coreness-filter the raw neighborhood of ``v``.
+
+        This is the expensive random-access step laziness amortizes: one
+        gather through ``old_to_new`` per neighbor, then the lazy filter
+        ``core[u] >= min_core`` (Alg. 2 line 20).
+        """
+        v_orig = int(self.order.new_to_old[v])
+        nbrs_orig = self.graph.neighbors(v_orig)
+        nbrs = self.order.old_to_new[nbrs_orig]
+        keep = self.core[nbrs] >= min_core
+        self.counters.elements_scanned += len(nbrs)
+        self.counters.neighbors_filtered_at_build += int(len(nbrs) - keep.sum())
+        return nbrs[keep]
+
+    def hashed_neighborhood(self, v: int, min_core: int = 0) -> HopscotchSet:
+        """Hash-set representation, built on first request (Alg. 2).
+
+        ``min_core`` is the incumbent size at the requesting context; it is
+        applied only if the representation does not exist yet.
+        """
+        if self._flags[v] & _FLAG_HASH:
+            return self._hash_reps[v]  # fast path, no lock
+        with self._locks.lock_for(v):
+            if not (self._flags[v] & _FLAG_HASH):  # double-checked
+                members = self._filtered_relabelled_neighbors(v, min_core)
+                rep = HopscotchSet(expected=len(members))
+                for u in members:
+                    rep.add(int(u))
+                self.counters.hash_inserts += len(members)
+                self.counters.neighborhoods_built_hash += 1
+                self._hash_reps[v] = rep
+                self._flags[v] |= _FLAG_HASH
+        return self._hash_reps[v]
+
+    def sorted_neighborhood(self, v: int, min_core: int = 0) -> np.ndarray:
+        """Sorted-array representation, built on first request."""
+        if self._flags[v] & _FLAG_SORTED:
+            return self._sorted_reps[v]
+        with self._locks.lock_for(v):
+            if not (self._flags[v] & _FLAG_SORTED):
+                members = self._filtered_relabelled_neighbors(v, min_core)
+                members = np.sort(members)
+                self.counters.neighborhoods_built_sorted += 1
+                self._sorted_reps[v] = members
+                self._flags[v] |= _FLAG_SORTED
+        return self._sorted_reps[v]
+
+    # -- representation choice (§IV-A) ------------------------------------------------
+
+    def membership_set(self, v: int, min_core: int = 0):
+        """Whichever representation supports ``in`` best for vertex ``v``.
+
+        If both exist, the hash set wins; if neither exists, the degree
+        rule decides which to build (hash above the threshold, sorted
+        otherwise).
+        """
+        if self._flags[v] & _FLAG_HASH:
+            return self._hash_reps[v]
+        if self._flags[v] & _FLAG_SORTED:
+            return SortedArraySet(self._sorted_reps[v])
+        if self.degrees[v] > self.config.hash_degree_threshold:
+            return self.hashed_neighborhood(v, min_core)
+        return SortedArraySet(self.sorted_neighborhood(v, min_core))
+
+    def neighborhood_array(self, v: int, min_core: int = 0) -> np.ndarray:
+        """An iterable array of the (constructed) neighborhood of ``v``.
+
+        When only the hash representation exists, its sorted array form is
+        materialized once and memoized as the sorted representation — the
+        two then share the same filter state, and repeated queries (the
+        filter loops hit the same vertices many times) stop paying the
+        conversion.
+        """
+        if self._flags[v] & _FLAG_SORTED:
+            return self._sorted_reps[v]
+        if self._flags[v] & _FLAG_HASH:
+            with self._locks.lock_for(v):
+                if not (self._flags[v] & _FLAG_SORTED):
+                    self._sorted_reps[v] = self._hash_reps[v].to_array()
+                    self._flags[v] |= _FLAG_SORTED
+            return self._sorted_reps[v]
+        return self.sorted_neighborhood(v, min_core)
+
+    def right_neighborhood(self, v: int, min_core: int = 0) -> np.ndarray:
+        """``{u in N(v) : u > v and core[u] >= min_core}`` (Alg. 8 line 2).
+
+        Re-applies the coreness filter at query time because the memoized
+        representation may have been built under a smaller incumbent.
+        """
+        arr = self.neighborhood_array(v, min_core)
+        out = arr[arr > v]
+        keep = self.core[out] >= min_core
+        self.counters.elements_scanned += len(out)
+        return out[keep]
+
+    # -- prepopulation (Fig. 4) -----------------------------------------------------
+
+    def prepopulate(self, policy: PrepopulatePolicy, incumbent_size: int) -> int:
+        """Eagerly build hash representations per policy.
+
+        ``MUST`` builds the must subgraph — vertices with coreness at least
+        the incumbent size known after degree-based heuristic search (§V-C).
+        Returns the number of neighborhoods built.
+        """
+        if policy == PrepopulatePolicy.NONE:
+            return 0
+        if policy == PrepopulatePolicy.ALL:
+            targets = np.flatnonzero(self.core >= 0)
+        else:
+            targets = np.flatnonzero(self.core >= incumbent_size)
+        for v in targets:
+            self.hashed_neighborhood(int(v), incumbent_size)
+        return len(targets)
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def degeneracy(self) -> int:
+        """Largest coreness among represented vertices."""
+        return int(self.core.max()) if len(self.core) else 0
+
+    def built_counts(self) -> tuple[int, int]:
+        """(hash, sorted) representation counts currently materialized."""
+        return (int(np.sum((self._flags & _FLAG_HASH) > 0)),
+                int(np.sum((self._flags & _FLAG_SORTED) > 0)))
+
+    def to_original(self, vertices) -> list[int]:
+        """Translate relabelled ids back to original graph ids."""
+        return [int(self.order.new_to_old[v]) for v in vertices]

@@ -1,0 +1,165 @@
+"""LazyMC top-level driver (Alg. 1).
+
+Phases, in order, each timed for the Fig. 2 breakdown:
+
+1. ``heuristic_degree`` — Alg. 5 on the raw graph.
+2. ``kcore`` — incumbent-bounded coreness (vertices with degree below the
+   incumbent size are excluded outright).
+3. ``sort`` — the (coreness, degree) two-phase counting sort.
+4. ``prepopulate`` — eager construction of the *must* subgraph's hashed
+   neighborhoods (policy-dependent, Fig. 4).
+5. ``heuristic_coreness`` — Alg. 6 on the lazy graph.
+6. ``systematic`` — Alg. 7 + Alg. 8.
+
+The result is exact: the returned clique is a maximum clique of the input.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BudgetExceeded
+from ..graph.csr import CSRGraph
+from ..graph.kcore import coreness_degree_filtered
+from ..graph.ordering import coreness_degree_order
+from ..instrument import Counters, PhaseTimer, PhaseTimers, WorkBudget
+from ..parallel.incumbent import Incumbent
+from ..parallel.scheduler import ScheduleReport, SimulatedScheduler
+from .config import LazyMCConfig
+from .filtering import FilterFunnel
+from .heuristics import coreness_based_heuristic_search, degree_based_heuristic_search
+from .lazygraph import LazyGraph
+from .systematic import systematic_search
+
+
+@dataclass
+class MCResult:
+    """Everything a bench or a user needs from one solve."""
+
+    clique: list[int]
+    omega: int
+    degeneracy: int
+    gap: int
+    heuristic_degree_size: int
+    heuristic_coreness_size: int
+    counters: Counters
+    timers: PhaseTimers
+    funnel: FilterFunnel
+    schedule: ScheduleReport
+    incumbent_history: list[tuple[float, int]] = field(default_factory=list)
+    timed_out: bool = False
+    wall_seconds: float = 0.0
+
+    def verify(self, graph: CSRGraph) -> bool:
+        """Check the returned vertices really form a clique of size omega."""
+        return len(self.clique) == self.omega and graph.is_clique(self.clique)
+
+
+class LazyMC:
+    """Configured LazyMC solver; ``solve`` may be called on many graphs."""
+
+    def __init__(self, config: LazyMCConfig | None = None):
+        self.config = config if config is not None else LazyMCConfig()
+
+    def solve(self, graph: CSRGraph) -> MCResult:
+        """Run Alg. 1 on ``graph`` and return the full result record."""
+        cfg = self.config
+        counters = Counters()
+        timers = PhaseTimers()
+        funnel = FilterFunnel()
+        incumbent = Incumbent()
+        scheduler = SimulatedScheduler(cfg.threads, counters)
+        budget = WorkBudget(cfg.max_work, cfg.max_seconds, counters)
+        t0 = time.perf_counter()
+
+        if graph.n == 0:
+            return self._result(graph, incumbent, 0, 0, 0, counters, timers,
+                                funnel, scheduler, t0, timed_out=False)
+        # Any vertex is a 1-clique; gives the filters a floor.
+        incumbent.offer([0])
+
+        timed_out = False
+        degeneracy = 0
+        w_d = w_h = 1
+        try:
+            with PhaseTimer(timers, "heuristic_degree", counters):
+                degree_based_heuristic_search(graph, incumbent, cfg, scheduler)
+                if cfg.local_search and incumbent.size:
+                    from .local_search import improve_clique
+
+                    improved = improve_clique(graph, incumbent.clique,
+                                              cfg.local_search_moves, counters)
+                    incumbent.offer(improved)
+            w_d = incumbent.size
+
+            with PhaseTimer(timers, "kcore", counters):
+                core = coreness_degree_filtered(graph, incumbent.size)
+                # The decomposition examines every vertex and edge once;
+                # charge it honestly (the baselines' peels are charged the
+                # same way).  It is imperfectly parallel (§V-F): model it
+                # as a partially parallelizable section.
+                kcore_cost = graph.n + 2 * graph.m
+                counters.elements_scanned += kcore_cost
+                scheduler.run_serial_section(
+                    kcore_cost, int(kcore_cost / (scheduler.threads ** 0.5)))
+            # The degree filter hides low-degree vertices.  When the true
+            # degeneracy d >= |C*| the d-core survives the filter and
+            # core.max() == d; otherwise the incumbent must be a
+            # (d+1)-clique, so d = |C*| - 1 dominates.
+            degeneracy = max(int(core.max()), incumbent.size - 1)
+
+            with PhaseTimer(timers, "sort", counters):
+                order = coreness_degree_order(graph, core)
+                # Two stable counting-sort passes over the vertex array.
+                counters.elements_scanned += 2 * graph.n
+                scheduler.run_serial_section(
+                    2 * graph.n, int(2 * graph.n / (scheduler.threads ** 0.5)))
+
+            lazy = LazyGraph(graph, order, core, cfg, counters)
+
+            with PhaseTimer(timers, "prepopulate", counters):
+                lazy.prepopulate(cfg.prepopulate, incumbent.size)
+
+            with PhaseTimer(timers, "heuristic_coreness", counters):
+                coreness_based_heuristic_search(lazy, incumbent, cfg, scheduler)
+            w_h = incumbent.size
+
+            with PhaseTimer(timers, "systematic", counters):
+                systematic_search(lazy, incumbent, cfg, scheduler, funnel, budget)
+        except BudgetExceeded:
+            timed_out = True
+
+        return self._result(graph, incumbent, degeneracy, w_d, w_h, counters,
+                            timers, funnel, scheduler, t0, timed_out)
+
+    @staticmethod
+    def _result(graph, incumbent, degeneracy, w_d, w_h, counters, timers,
+                funnel, scheduler, t0, timed_out) -> MCResult:
+        clique = sorted(incumbent.clique)
+        return MCResult(
+            clique=clique,
+            omega=len(clique),
+            degeneracy=degeneracy,
+            gap=degeneracy + 1 - len(clique) if graph.n else 0,
+            heuristic_degree_size=w_d,
+            heuristic_coreness_size=w_h,
+            counters=counters,
+            timers=timers,
+            funnel=funnel,
+            schedule=scheduler.report,
+            incumbent_history=incumbent.history,
+            timed_out=timed_out,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+def lazymc(graph: CSRGraph, config: LazyMCConfig | None = None) -> MCResult:
+    """Solve the maximum clique problem on ``graph`` with LazyMC.
+
+    Exact (unless a budget is configured and trips, in which case
+    ``result.timed_out`` is set and the incumbent is best-effort).
+    """
+    return LazyMC(config).solve(graph)

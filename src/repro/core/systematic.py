@@ -1,0 +1,73 @@
+"""Systematic search (Alg. 7).
+
+Establishes the exact maximum clique by invoking ``NeighborSearch`` on
+every eligible vertex.  Two passes:
+
+1. **Seeding** — one lowest-numbered vertex per degeneracy level, from the
+   incumbent size up to the degeneracy.  Cheap (few, mostly small
+   neighborhoods) and valuable on high clique-core-gap graphs, where it
+   establishes a good incumbent before the expensive levels are swept.
+2. **Sweep** — every level from the degeneracy down to the incumbent size,
+   all vertices of a level in (simulated) parallel.  High levels first
+   mirrors the must-before-may exploration of §III-A.  Levels and vertices
+   below the *current* incumbent size are skipped — a vertex of coreness
+   c can only belong to cliques of size <= c + 1, so proving no clique
+   beats |C*| only requires vertices with c(v) >= |C*|.
+"""
+
+from __future__ import annotations
+
+from ..instrument import Counters, WorkBudget
+from ..parallel.incumbent import Incumbent, IncumbentView
+from ..parallel.scheduler import SimulatedScheduler
+from .config import LazyMCConfig
+from .filtering import FilterFunnel, neighbor_search
+from .lazygraph import LazyGraph
+
+
+def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
+                      config: LazyMCConfig, scheduler: SimulatedScheduler,
+                      funnel: FilterFunnel, budget: WorkBudget | None = None) -> None:
+    """Run Alg. 7 to completion (or until the budget trips)."""
+    core = lazy.core
+    n = lazy.n
+    if n == 0:
+        return
+    degeneracy = lazy.degeneracy()
+    if degeneracy <= 0:
+        return
+
+    # Group vertices by coreness level; relabelled order sorts by coreness,
+    # so levels are contiguous id ranges.
+    levels: dict[int, list[int]] = {}
+    first_at_level: dict[int, int] = {}
+    for v in range(n):
+        c = int(core[v])
+        if c < 0:
+            continue
+        levels.setdefault(c, []).append(v)
+        first_at_level.setdefault(c, v)
+
+    def task(v: int, view: IncumbentView, counters: Counters) -> None:
+        # Re-check eligibility against the task's visible incumbent: the
+        # incumbent may have grown since the level was scheduled.
+        if core[v] >= view.size:
+            neighbor_search(lazy, v, view, config, counters, funnel, budget)
+
+    # Pass 1 (lines 2-5): seed one vertex per level, ascending from |C*|.
+    if config.seed_per_level:
+        seeds = [first_at_level[k]
+                 for k in range(max(incumbent.size, 1), degeneracy + 2)
+                 if k in first_at_level]
+        if seeds:
+            scheduler.parfor(seeds, task, incumbent)
+
+    # Pass 2 (lines 6-11): sweep levels from high to low coreness.
+    for k in range(degeneracy, 0, -1):
+        if k < incumbent.size:
+            # Levels below the incumbent cannot host anything bigger; the
+            # incumbent only grows, so every remaining level is skippable.
+            break
+        vertices = levels.get(k)
+        if vertices:
+            scheduler.parfor(vertices, task, incumbent)

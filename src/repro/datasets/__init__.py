@@ -1,0 +1,27 @@
+"""Dataset registry: laptop-scale synthetic analogues of the paper's 28 graphs.
+
+The paper evaluates on real graphs up to 9.3G edges.  Those inputs (and the
+hardware to hold them) are unavailable here, so each paper graph is mapped
+to a seeded synthetic analogue from the same structural family — road grids,
+power-law social networks, web crawls with dominant cliques, bipartite
+interaction graphs, citation layers, and dense biological co-expression
+networks (see DESIGN.md §2 for the substitution argument).  The qualitative
+properties the evaluation depends on are preserved per graph: clique-core
+gap zero vs. positive, whether heuristic search finds ω, density regime,
+and degree skew.
+
+Paper-reported numbers (Table I characterization, Table II runtimes) are
+stored alongside so EXPERIMENTS.md can print paper-vs-measured rows.
+"""
+
+from .registry import (
+    DatasetSpec,
+    EXPECTED_OMEGA,
+    PaperNumbers,
+    REGISTRY,
+    load,
+    names,
+    spec,
+)
+
+__all__ = ["DatasetSpec", "EXPECTED_OMEGA", "PaperNumbers", "REGISTRY", "load", "names", "spec"]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the LazyMC reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list could not be parsed."""
+
+
+class GraphConstructionError(ReproError):
+    """Invalid arguments while building a graph (bad vertex ids, ...)."""
+
+
+class BudgetExceeded(ReproError):
+    """A solver exceeded its configured work or wall-clock budget.
+
+    Mirrors the paper's 30-minute timeout ("T.O." entries in Table II).
+    The partially computed incumbent clique, if any, is attached so the
+    harness can report best-effort results.
+    """
+
+    def __init__(self, message: str = "work budget exceeded", incumbent=None):
+        super().__init__(message)
+        self.incumbent = incumbent
+
+
+class SolverError(ReproError):
+    """A solver reached an inconsistent internal state."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or unsatisfiable dataset parameters."""

@@ -1,0 +1,46 @@
+"""Graph substrate: CSR storage, construction, I/O, generators and analyses.
+
+This subpackage is the foundation every solver in the reproduction builds
+on.  Graphs are simple (no self-loops, no parallel edges) and undirected,
+stored in compressed sparse row (CSR) form with sorted neighbor lists so
+that neighborhoods are zero-copy numpy views and edge queries are binary
+searches.
+"""
+
+from .csr import CSRGraph
+from .builders import from_edges, from_adjacency, from_networkx, empty_graph, complete_graph
+from .kcore import coreness, coreness_lower_bounded, degeneracy, kcore_subgraph, peeling_order
+from .ordering import degeneracy_order, coreness_degree_order, VertexOrder, relabel_graph
+from .complement import complement
+from .subgraph import induced_subgraph, subgraph_density, induced_adjacency_sets
+from .analysis import may_must_report, MayMustReport, clique_core_gap
+from .metrics import GraphProfile, profile, triangle_count, global_clustering
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "empty_graph",
+    "complete_graph",
+    "coreness",
+    "coreness_lower_bounded",
+    "degeneracy",
+    "kcore_subgraph",
+    "peeling_order",
+    "degeneracy_order",
+    "coreness_degree_order",
+    "VertexOrder",
+    "relabel_graph",
+    "complement",
+    "induced_subgraph",
+    "induced_adjacency_sets",
+    "subgraph_density",
+    "may_must_report",
+    "MayMustReport",
+    "clique_core_gap",
+    "GraphProfile",
+    "profile",
+    "triangle_count",
+    "global_clustering",
+]

@@ -1,0 +1,109 @@
+"""Graph construction helpers.
+
+All builders normalize their input to the :class:`~repro.graph.csr.CSRGraph`
+invariants: undirected, simple, sorted rows.  Construction is fully
+vectorized — duplicate removal, symmetrization and row sorting are done with
+a single lexicographic sort over the directed edge array rather than per-row
+Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GraphConstructionError
+from .csr import CSRGraph, INDPTR_DTYPE, VERTEX_DTYPE
+
+
+def _csr_from_directed(n: int, src: np.ndarray, dst: np.ndarray) -> CSRGraph:
+    """Build a CSR graph from an already-symmetric directed edge array."""
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    if len(src):
+        keep = np.empty(len(src), dtype=bool)
+        keep[0] = True
+        np.not_equal(src[1:] * np.int64(n) + dst[1:],
+                     src[:-1] * np.int64(n) + dst[:-1], out=keep[1:])
+        src = src[keep]
+        dst = dst[keep]
+    counts = np.bincount(src, minlength=n).astype(INDPTR_DTYPE)
+    indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, dst.astype(VERTEX_DTYPE), validate=False)
+
+
+def from_edges(n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> CSRGraph:
+    """Build a graph on vertices ``0..n-1`` from an edge iterable.
+
+    Self-loops are dropped; duplicate and reversed duplicates collapse to a
+    single undirected edge.  Raises on out-of-range endpoints.
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                     dtype=np.int64)
+    if arr.size == 0:
+        return CSRGraph(np.zeros(n + 1, dtype=INDPTR_DTYPE),
+                        np.empty(0, dtype=VERTEX_DTYPE), validate=False)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphConstructionError("edges must be pairs")
+    if arr.min() < 0 or arr.max() >= n:
+        raise GraphConstructionError(f"edge endpoint out of range [0, {n})")
+    arr = arr[arr[:, 0] != arr[:, 1]]  # drop self-loops
+    src = np.concatenate([arr[:, 0], arr[:, 1]])
+    dst = np.concatenate([arr[:, 1], arr[:, 0]])
+    return _csr_from_directed(n, src, dst)
+
+
+def from_adjacency(adjacency: Sequence[Iterable[int]]) -> CSRGraph:
+    """Build a graph from per-vertex neighbor iterables.
+
+    The adjacency need not be symmetric or deduplicated; it is normalized.
+    """
+    n = len(adjacency)
+    edges = [(u, v) for u, nbrs in enumerate(adjacency) for v in nbrs]
+    return from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+def from_networkx(g) -> CSRGraph:
+    """Convert a ``networkx`` graph whose nodes are ``0..n-1`` integers."""
+    n = g.number_of_nodes()
+    nodes = set(g.nodes)
+    if nodes != set(range(n)):
+        raise GraphConstructionError("networkx nodes must be exactly 0..n-1")
+    return from_edges(n, np.asarray([(u, v) for u, v in g.edges()], dtype=np.int64).reshape(-1, 2))
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """Graph with ``n`` vertices and no edges."""
+    return from_edges(n, np.empty((0, 2), dtype=np.int64))
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """The clique :math:`K_n`."""
+    if n <= 1:
+        return empty_graph(max(n, 0))
+    u, v = np.triu_indices(n, k=1)
+    return from_edges(n, np.stack([u, v], axis=1))
+
+
+def union_disjoint(*graphs: CSRGraph) -> CSRGraph:
+    """Disjoint union; vertex ids of later graphs are shifted."""
+    n = sum(g.n for g in graphs)
+    parts = []
+    offset = 0
+    for g in graphs:
+        e = g.edge_array().astype(np.int64)
+        if len(e):
+            parts.append(e + offset)
+        offset += g.n
+    edges = np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    return from_edges(n, edges)
+
+
+def add_edges(g: CSRGraph, edges: Iterable[tuple[int, int]]) -> CSRGraph:
+    """Return a new graph with ``edges`` added (duplicates are harmless)."""
+    extra = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    base = g.edge_array().astype(np.int64)
+    return from_edges(g.n, np.concatenate([base, extra]) if len(base) else extra)

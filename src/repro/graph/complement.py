@@ -1,0 +1,38 @@
+"""Graph complement (§II-B).
+
+The algorithmic-choice path solves dense subgraphs through the k-vertex-
+cover problem on the *complement*, which is sparse exactly when the
+subgraph is dense — the whole point of the choice.  The complement is only
+ever taken of small induced subgraphs (candidate sets), never of the input
+graph, so an O(n^2) construction is appropriate and is done with one
+vectorized ``setdiff1d`` per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, INDPTR_DTYPE, VERTEX_DTYPE
+
+
+def complement(graph: CSRGraph) -> CSRGraph:
+    """The simple complement: edge (u, v), u != v, iff absent in ``graph``."""
+    n = graph.n
+    all_ids = np.arange(n, dtype=VERTEX_DTYPE)
+    indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+    rows = []
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        row = np.setdiff1d(all_ids, nbrs, assume_unique=True)
+        row = row[row != v]
+        rows.append(row)
+        indptr[v + 1] = indptr[v] + len(row)
+    indices = np.concatenate(rows) if rows else np.empty(0, dtype=VERTEX_DTYPE)
+    return CSRGraph(indptr, indices, validate=False)
+
+
+def complement_adjacency_sets(adj: list[set]) -> list[set]:
+    """Complement of a set-adjacency representation over ids ``0..n-1``."""
+    n = len(adj)
+    universe = set(range(n))
+    return [universe - adj[v] - {v} for v in range(n)]

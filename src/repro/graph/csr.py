@@ -1,0 +1,167 @@
+"""Compressed sparse row graph storage.
+
+The CSR layout is the performance-critical substrate of the whole
+reproduction: every neighborhood is a contiguous, *sorted* ``int32`` slice,
+so iterating a neighborhood is a cache-friendly sequential scan, membership
+is a binary search, and the lazy graph (Alg. 2) can remap a neighborhood
+with a single vectorized gather.
+
+The class is immutable after construction.  All mutating operations
+(relabel, induced subgraph, complement) return new graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphConstructionError
+
+VERTEX_DTYPE = np.int32
+INDPTR_DTYPE = np.int64
+
+
+class CSRGraph:
+    """An immutable, simple, undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighborhood of vertex ``v``
+        is ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int32`` array of neighbor ids, sorted ascending within each row.
+    validate:
+        When true (default), check structural invariants: sortedness,
+        symmetry, no self-loops, no duplicates.  Skipped by internal
+        callers that construct by-construction-valid graphs.
+    """
+
+    __slots__ = ("indptr", "indices", "n", "m", "_degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDPTR_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=VERTEX_DTYPE)
+        self.n = len(self.indptr) - 1
+        if self.n < 0:
+            raise GraphConstructionError("indptr must have at least one entry")
+        self.m = len(self.indices) // 2
+        self._degrees = np.diff(self.indptr)
+        if validate:
+            self._validate()
+
+    # -- construction invariants ------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise GraphConstructionError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphConstructionError("indptr must be non-decreasing")
+        if len(self.indices) % 2 != 0:
+            raise GraphConstructionError("odd number of directed edges; graph not symmetric")
+        if self.n > 0 and len(self.indices) > 0:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise GraphConstructionError("neighbor id out of range")
+        for v in range(self.n):
+            row = self.indices[self.indptr[v]:self.indptr[v + 1]]
+            if len(row) > 1 and np.any(np.diff(row) <= 0):
+                raise GraphConstructionError(f"row {v} not strictly sorted (dups?)")
+            if len(row) and np.any(row == v):
+                raise GraphConstructionError(f"self-loop at vertex {v}")
+        # Symmetry: the multiset of (u, v) equals the multiset of (v, u).
+        src = np.repeat(np.arange(self.n, dtype=VERTEX_DTYPE), self._degrees)
+        fwd = src.astype(np.int64) * self.n + self.indices
+        rev = self.indices.astype(np.int64) * self.n + src
+        if not np.array_equal(np.sort(fwd), np.sort(rev)):
+            raise GraphConstructionError("adjacency is not symmetric")
+
+    # -- basic queries ------------------------------------------------------------
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` as a zero-copy view."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        return int(self._degrees[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex (``int64``, length ``n``); do not mutate."""
+        return self._degrees
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 for empty graphs)."""
+        return int(self._degrees.max()) if self.n else 0
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge query by binary search in the smaller endpoint's row."""
+        if self._degrees[u] > self._degrees[v]:
+            u, v = v, u
+        row = self.neighbors(u)
+        i = np.searchsorted(row, v)
+        return bool(i < len(row) and row[i] == v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        src = np.repeat(np.arange(self.n, dtype=VERTEX_DTYPE), self._degrees)
+        mask = src < self.indices
+        return np.stack([src[mask], self.indices[mask]], axis=1)
+
+    @property
+    def density(self) -> float:
+        """``2m / (n (n-1))``; zero for graphs with fewer than two vertices."""
+        if self.n < 2:
+            return 0.0
+        return 2.0 * self.m / (self.n * (self.n - 1))
+
+    # -- verification helpers -------------------------------------------------------
+
+    def is_clique(self, vertices) -> bool:
+        """Check that ``vertices`` (distinct ids) induce a complete subgraph."""
+        vs = list(dict.fromkeys(int(v) for v in vertices))
+        if len(vs) != len(list(vertices)):
+            return False
+        for i, u in enumerate(vs):
+            row = self.neighbors(u)
+            for v in vs[i + 1:]:
+                j = np.searchsorted(row, v)
+                if j >= len(row) or row[j] != v:
+                    return False
+        return True
+
+    def neighbor_set(self, v: int) -> set:
+        """Python ``set`` of neighbors; convenience for tests and oracles."""
+        return set(int(u) for u in self.neighbors(v))
+
+    # -- interop ---------------------------------------------------------------------
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (for interop and oracles)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (self.n == other.n
+                and np.array_equal(self.indptr, other.indptr)
+                and np.array_equal(self.indices, other.indices))
+
+    def __hash__(self):  # pragma: no cover - identity hashing for immutables
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m}, density={self.density:.4f})"

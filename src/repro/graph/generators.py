@@ -1,0 +1,435 @@
+"""Synthetic graph generators.
+
+The paper evaluates on 28 real graphs spanning four structural families:
+road networks (tiny degeneracy, clique-core gap zero), power-law social
+networks (large gap, small cliques), web crawls (very large cliques, gap
+zero), and dense biological correlation networks (density up to ~0.3, large
+cliques *and* large gap).  These generators produce seeded, reproducible
+analogues of each family at laptop scale; the dataset registry
+(:mod:`repro.datasets`) maps paper graph names onto parameterizations.
+
+All generators are vectorized over numpy's ``Generator`` and return
+:class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphConstructionError
+from .builders import from_edges
+from .csr import CSRGraph
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def gnp_random(n: int, p: float, seed=0) -> CSRGraph:
+    """Erdős–Rényi G(n, p), vectorized via geometric edge skipping.
+
+    Uses the standard O(n + m) skip-sampling over the upper triangle rather
+    than materializing all n(n-1)/2 coin flips.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphConstructionError("p must be in [0, 1]")
+    if p == 0.0 or n < 2:
+        return from_edges(n, [])
+    rng = _rng(seed)
+    total = n * (n - 1) // 2
+    if p == 1.0:
+        picks = np.arange(total, dtype=np.int64)
+    else:
+        # Geometric gaps between successive selected pair-indices.
+        expected = int(total * p + 10 * np.sqrt(total * p) + 10)
+        gaps = rng.geometric(p, size=max(expected, 16))
+        picks = np.cumsum(gaps) - 1
+        while picks[-1] < total - 1 and p > 0:
+            more = rng.geometric(p, size=max(expected // 4, 16))
+            picks = np.concatenate([picks, picks[-1] + np.cumsum(more)])
+        picks = picks[picks < total]
+    # Unrank pair index -> (u, v) with u < v, row-major over the triangle.
+    u = (n - 2 - np.floor(np.sqrt(-8.0 * picks + 4.0 * n * (n - 1) - 7) / 2.0 - 0.5)).astype(np.int64)
+    v = (picks + u + 1 - u * np.int64(n) + u * (u + 1) // 2).astype(np.int64)
+    return from_edges(n, np.stack([u, v], axis=1))
+
+
+def planted_clique(n: int, p: float, clique_size: int, seed=0) -> tuple[CSRGraph, np.ndarray]:
+    """G(n, p) with a clique planted on ``clique_size`` random vertices.
+
+    Returns ``(graph, clique_vertices)``.  With sparse ``p`` this yields the
+    web-crawl profile: the planted clique dominates coreness, giving
+    clique-core gap zero and a heuristic-findable optimum.
+    """
+    if clique_size > n:
+        raise GraphConstructionError("clique larger than graph")
+    rng = _rng(seed)
+    g = gnp_random(n, p, seed=rng.integers(2**31))
+    members = rng.choice(n, size=clique_size, replace=False)
+    uu, vv = np.triu_indices(clique_size, k=1)
+    clique_edges = np.stack([members[uu], members[vv]], axis=1)
+    base = g.edge_array().astype(np.int64)
+    edges = np.concatenate([base, clique_edges]) if len(base) else clique_edges
+    return from_edges(n, edges), np.sort(members)
+
+
+def barabasi_albert(n: int, m: int, seed=0) -> CSRGraph:
+    """Preferential attachment: each new vertex attaches to ``m`` targets.
+
+    Produces the power-law degree profile of the social-network family.
+    """
+    if m < 1 or m >= n:
+        raise GraphConstructionError("need 1 <= m < n")
+    rng = _rng(seed)
+    targets = list(range(m))
+    repeated: list[int] = []
+    edges = []
+    for v in range(m, n):
+        for t in targets:
+            edges.append((v, t))
+        repeated.extend(targets)
+        repeated.extend([v] * m)
+        # Sample next targets proportional to degree (with repetition guard).
+        targets = []
+        seen = set()
+        while len(targets) < m:
+            t = repeated[rng.integers(len(repeated))]
+            if t not in seen:
+                seen.add(t)
+                targets.append(t)
+    return from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def powerlaw_cluster(n: int, m: int, triangle_prob: float, seed=0) -> CSRGraph:
+    """Holme–Kim model: preferential attachment plus triangle closure.
+
+    The triangle step raises clustering (and hence clique sizes and
+    coreness) above plain BA — matching social graphs where ω ≈ 20-60.
+    """
+    if m < 1 or m >= n:
+        raise GraphConstructionError("need 1 <= m < n")
+    rng = _rng(seed)
+    repeated: list[int] = list(range(m))
+    edges: list[tuple[int, int]] = []
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+
+    def connect(u: int, t: int) -> None:
+        edges.append((u, t))
+        adjacency[u].append(t)
+        adjacency[t].append(u)
+        repeated.extend([u, t])
+
+    for v in range(m, n):
+        picked: set[int] = set()
+        count = 0
+        last_target = None
+        while count < m:
+            if last_target is not None and rng.random() < triangle_prob:
+                # Triangle closure: connect to a random neighbor of the
+                # previous target.
+                nbrs = [x for x in adjacency[last_target]
+                        if x != v and x not in picked]
+                if nbrs:
+                    t = nbrs[rng.integers(len(nbrs))]
+                    picked.add(t)
+                    connect(v, t)
+                    count += 1
+                    continue
+            t = repeated[rng.integers(len(repeated))] if repeated else int(rng.integers(v))
+            if t != v and t not in picked:
+                picked.add(t)
+                connect(v, t)
+                last_target = t
+                count += 1
+    return from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def rmat(scale: int, edge_factor: int, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed=0) -> CSRGraph:
+    """Recursive-matrix (Graph500-style) generator; skewed like web crawls."""
+    n = 1 << scale
+    m = n * edge_factor
+    rng = _rng(seed)
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise GraphConstructionError("a + b + c must be <= 1")
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        bit_src = (r >= a + b).astype(np.int64)
+        # Within chosen half, pick the column bit.
+        r2 = rng.random(m)
+        top = r2 < np.where(bit_src == 0, a / (a + b), c / max(c + d, 1e-12))
+        bit_dst = (~top).astype(np.int64)
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    mask = src != dst
+    return from_edges(n, np.stack([src[mask], dst[mask]], axis=1))
+
+
+def grid_road(rows: int, cols: int, k4_fraction: float = 0.15, seed=0) -> CSRGraph:
+    """Road-network analogue: a grid with a fraction of cells fully braced.
+
+    A braced cell (both diagonals added, which with the four grid edges
+    forms a K4) gives ω = 4 while the degeneracy stays 3 — the USA/CA road
+    profile: tiny degeneracy, clique-core gap zero.
+    """
+    rng = _rng(seed)
+    def vid(r, c):
+        return r * cols + c
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() < k4_fraction:
+                edges.append((vid(r, c), vid(r + 1, c + 1)))
+                edges.append((vid(r, c + 1), vid(r + 1, c)))
+    return from_edges(rows * cols, np.asarray(edges, dtype=np.int64))
+
+
+def relaxed_caveman(num_cliques: int, clique_size: int, rewire_prob: float,
+                    seed=0) -> CSRGraph:
+    """Connected caves (cliques) with rewired edges — community structure."""
+    rng = _rng(seed)
+    n = num_cliques * clique_size
+    edges = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                u, v = base + i, base + j
+                if rng.random() < rewire_prob:
+                    w = int(rng.integers(n))
+                    if w != u:
+                        v = w
+                edges.append((u, v))
+    return from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def overlapping_cliques(n: int, num_cliques: int, clique_size_range: tuple[int, int],
+                        noise_p: float = 0.0, seed=0) -> CSRGraph:
+    """Union of random cliques over a shared vertex set, plus G(n, p) noise.
+
+    The dense-biological analogue: gene co-expression graphs are unions of
+    many overlapping near-cliques, producing density up to ~0.5, a large
+    maximum clique, and a large clique-core gap (many vertices sit in
+    several medium cliques, inflating coreness beyond ω - 1).
+    """
+    rng = _rng(seed)
+    lo, hi = clique_size_range
+    parts = []
+    for _ in range(num_cliques):
+        k = int(rng.integers(lo, hi + 1))
+        members = rng.choice(n, size=min(k, n), replace=False)
+        uu, vv = np.triu_indices(len(members), k=1)
+        parts.append(np.stack([members[uu], members[vv]], axis=1))
+    if noise_p > 0:
+        noise = gnp_random(n, noise_p, seed=rng.integers(2**31)).edge_array().astype(np.int64)
+        if len(noise):
+            parts.append(noise)
+    edges = np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    return from_edges(n, edges)
+
+
+def camouflaged_clique(n: int, p: float, clique_size: int, seed=0) -> tuple[CSRGraph, np.ndarray]:
+    """Planted clique with degree camouflage (brock-style adversary).
+
+    The DIMACS brock instances famously hide the maximum clique from
+    degree-based heuristics by re-balancing degrees: after planting, each
+    clique member has some of its *background* edges removed so its total
+    degree matches the graph's average.  The hidden clique is then
+    invisible to Alg. 5 (its members are not top-K by degree) and to naive
+    density heuristics, forcing the systematic machinery to earn its keep.
+
+    Returns ``(graph, clique_vertices)``.
+    """
+    if clique_size > n:
+        raise GraphConstructionError("clique larger than graph")
+    rng = _rng(seed)
+    base = gnp_random(n, p, seed=rng.integers(2**31))
+    members = np.sort(rng.choice(n, size=clique_size, replace=False))
+    member_set = set(int(x) for x in members)
+    # Planting adds ~clique_size-1 edges per member; remove that many of
+    # each member's background edges to camouflage the degree bump.
+    edges = [tuple(e) for e in base.edge_array().tolist()]
+    by_member: dict[int, list[int]] = {int(v): [] for v in members}
+    for idx, (u, v) in enumerate(edges):
+        if u in member_set and v not in member_set:
+            by_member[u].append(idx)
+        elif v in member_set and u not in member_set:
+            by_member[v].append(idx)
+    drop: set[int] = set()
+    target_removals = clique_size - 1
+    for v in members:
+        candidates = [i for i in by_member[int(v)] if i not in drop]
+        rng.shuffle(candidates)
+        drop.update(candidates[:target_removals])
+    kept = np.asarray([e for i, e in enumerate(edges) if i not in drop],
+                      dtype=np.int64).reshape(-1, 2)
+    uu, vv = np.triu_indices(clique_size, k=1)
+    clique_edges = np.stack([members[uu], members[vv]], axis=1)
+    return from_edges(n, np.concatenate([kept, clique_edges])), members
+
+
+def concentrated_cliques(n: int, region: int, num_cliques: int,
+                         clique_size_range: tuple[int, int], seed=0) -> CSRGraph:
+    """Overlapping cliques confined to vertices ``0..region-1``.
+
+    Concentrating the overlaps inflates the coreness of a small region far
+    above the clique sizes involved — the device behind the LiveJournal and
+    warwiki analogues, whose clique-core gap is positive even though a
+    dominant planted clique defines ω elsewhere in the graph.
+    """
+    rng = _rng(seed)
+    lo, hi = clique_size_range
+    if region > n or region < hi:
+        raise GraphConstructionError("region must satisfy hi <= region <= n")
+    parts = []
+    for _ in range(num_cliques):
+        k = int(rng.integers(lo, hi + 1))
+        members = rng.choice(region, size=k, replace=False)
+        uu, vv = np.triu_indices(k, k=1)
+        parts.append(np.stack([members[uu], members[vv]], axis=1))
+    edges = np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    return from_edges(n, edges)
+
+
+def with_periphery(core_graph: CSRGraph, extra: int, attach_prob: float = 0.1,
+                   seed=0) -> CSRGraph:
+    """Attach a sparse tree periphery of ``extra`` vertices to a core graph.
+
+    Each new vertex connects to one random earlier vertex (tree edge) and,
+    with ``attach_prob``, to a second one.  Peripheral vertices have tiny
+    coreness (<= 2) and are exactly the *avoidable* part of the graph: the
+    paper's inputs are dominated by such vertices (Fig. 1 — under 40% of
+    vertices are ``may``), which is the regime where lazy construction
+    beats eager relabelling.  Analogue graphs wrap their interesting core
+    with this to preserve that asymmetry at laptop scale.
+    """
+    from .builders import add_edges
+
+    rng = _rng(seed)
+    if extra <= 0:
+        return core_graph
+    n0 = core_graph.n
+    n = n0 + extra
+    edges = []
+    for v in range(n0, n):
+        edges.append((int(rng.integers(v)), v))
+        if rng.random() < attach_prob:
+            edges.append((int(rng.integers(v)), v))
+    base = core_graph.edge_array().astype(np.int64)
+    arr = np.asarray(edges, dtype=np.int64)
+    all_edges = np.concatenate([base, arr]) if len(base) else arr
+    return from_edges(n, all_edges)
+
+
+def social_network(n: int, attach: int, triangle_prob: float, noise_p: float,
+                   clique_size: int, seed=0) -> CSRGraph:
+    """Hard social-network analogue: hubs + coreness inflation + hidden clique.
+
+    Three layers reproduce the Table I social-graph profile (large
+    clique-core gap, heuristics undershooting ω, systematic search doing
+    real work):
+
+    * a Holme–Kim power-law backbone supplies hubs, which mislead the
+      degree-based heuristic (its top-K seeds sit on hubs, not cliques);
+    * a G(n, p) overlay inflates coreness well beyond ω - 1, creating a
+      dense-but-cliqueless top core that also misleads the coreness-based
+      heuristic and opens a wide clique-core gap;
+    * a clique planted on random (typically low-degree) vertices defines ω.
+
+    ``clique_size`` must stay below the overlay's degeneracy + 1 for the
+    gap to be positive; the registry's parameterizations guarantee it.
+    """
+    from .builders import add_edges
+
+    base = powerlaw_cluster(n, attach, triangle_prob, seed=seed)
+    noise = gnp_random(n, noise_p, seed=(seed or 0) + 1)
+    g = add_edges(base, noise.edge_array())
+    planted, _ = planted_clique(n, 0.0, clique_size, seed=(seed or 0) + 2)
+    return add_edges(g, planted.edge_array())
+
+
+def bipartite_random(n_left: int, n_right: int, p: float, seed=0) -> CSRGraph:
+    """Random bipartite graph: ω = 2 while degeneracy can be large.
+
+    The yahoo-member profile (Table I: ω = 2, d = 49): a graph the
+    coreness bound is maximally wrong about.
+    """
+    rng = _rng(seed)
+    mask = rng.random((n_left, n_right)) < p
+    u, v = np.nonzero(mask)
+    edges = np.stack([u, v + n_left], axis=1)
+    return from_edges(n_left + n_right, edges)
+
+
+def hierarchical_web(levels: int, branching: int, core_clique: int, seed=0) -> CSRGraph:
+    """Web-crawl analogue: a large clique core with a sparse tree periphery.
+
+    The core clique dominates both ω and the degeneracy, giving gap zero
+    (uk-union / dimacs / hollywood profile); the periphery mimics the long
+    crawl tail whose vertices must all be *skipped* cheaply.
+    """
+    rng = _rng(seed)
+    edges = []
+    uu, vv = np.triu_indices(core_clique, k=1)
+    edges.extend(zip(uu.tolist(), vv.tolist()))
+    next_id = core_clique
+    frontier = list(range(core_clique))
+    for _ in range(levels):
+        new_frontier = []
+        for v in frontier:
+            for _ in range(branching):
+                edges.append((v, next_id))
+                # Occasional cross edge for realism.
+                if rng.random() < 0.3 and next_id > core_clique:
+                    other = int(rng.integers(core_clique, next_id))
+                    edges.append((other, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+        if len(frontier) > 4000:  # cap growth
+            break
+    return from_edges(next_id, np.asarray(edges, dtype=np.int64))
+
+
+def citation_layers(n: int, out_degree: int, recency_bias: float = 2.0, seed=0) -> CSRGraph:
+    """Citation-network analogue (patents): vertices cite earlier vertices
+    with a recency-biased preference; moderate coreness, small cliques."""
+    rng = _rng(seed)
+    edges = []
+    for v in range(1, n):
+        k = min(out_degree, v)
+        # Bias toward recent vertices: sample v * u^(1/bias).
+        u = (v * rng.random(k) ** recency_bias).astype(np.int64)
+        for t in np.unique(u):
+            edges.append((v, int(t)))
+    return from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def star_forest_plus(n_hubs: int, leaves_per_hub: int, extra_p: float, seed=0) -> CSRGraph:
+    """Hub-and-spoke graph with light G(n,p) noise — wiki-talk profile:
+    huge maximum degree, small maximum clique."""
+    rng = _rng(seed)
+    n = n_hubs * (1 + leaves_per_hub)
+    edges = []
+    for h in range(n_hubs):
+        base = n_hubs + h * leaves_per_hub
+        for i in range(leaves_per_hub):
+            edges.append((h, base + i))
+    for h1 in range(n_hubs):
+        for h2 in range(h1 + 1, n_hubs):
+            if rng.random() < 0.5:
+                edges.append((h1, h2))
+    noise = gnp_random(n, extra_p, seed=rng.integers(2**31)).edge_array().astype(np.int64)
+    arr = np.asarray(edges, dtype=np.int64)
+    if len(noise):
+        arr = np.concatenate([arr, noise])
+    return from_edges(n, arr)

@@ -1,0 +1,154 @@
+"""Graph file I/O: edge lists, DIMACS, and METIS.
+
+The paper's 28 inputs are distributed in a mix of these formats; the
+reproduction's dataset registry generates graphs in memory but the loaders
+make the library usable on real downloaded inputs, and the writers let the
+benches persist generated instances for external cross-checking.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builders import from_edges
+from .csr import CSRGraph
+
+
+def _open_text(path: str | Path, mode: str = "rt"):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_edge_list(path: str | Path, *, comment: str = "#",
+                   zero_indexed: bool | None = None) -> CSRGraph:
+    """Read a whitespace-separated edge list (SNAP style).
+
+    ``zero_indexed=None`` auto-detects: if the minimum vertex id seen is 1
+    and 0 never appears, ids are shifted down by one.
+    """
+    edges = []
+    max_id = -1
+    min_id = None
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comment) or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"line {lineno}: expected two vertex ids")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: non-integer id") from exc
+            edges.append((u, v))
+            max_id = max(max_id, u, v)
+            min_id = min(u, v) if min_id is None else min(min_id, u, v)
+    if not edges:
+        return from_edges(0, [])
+    if zero_indexed is None:
+        zero_indexed = (min_id == 0)
+    arr = np.asarray(edges, dtype=np.int64)
+    if not zero_indexed:
+        arr -= 1
+        max_id -= 1
+    if arr.min() < 0:
+        raise GraphFormatError("negative vertex id after index adjustment")
+    return from_edges(max_id + 1, arr)
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write one ``u v`` line per undirected edge (u < v), zero-indexed."""
+    with _open_text(path, "wt") as fh:
+        fh.write(f"# nodes: {graph.n} edges: {graph.m}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_dimacs(path: str | Path) -> CSRGraph:
+    """Read DIMACS clique format (``p edge n m`` header, ``e u v`` lines).
+
+    DIMACS ids are 1-based.
+    """
+    n = None
+    edges = []
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) < 4:
+                    raise GraphFormatError(f"line {lineno}: malformed problem line")
+                n = int(parts[2])
+            elif line.startswith("e"):
+                parts = line.split()
+                if n is None:
+                    raise GraphFormatError("edge line before problem line")
+                edges.append((int(parts[1]) - 1, int(parts[2]) - 1))
+    if n is None:
+        raise GraphFormatError("missing DIMACS problem line")
+    return from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+def write_dimacs(graph: CSRGraph, path: str | Path) -> None:
+    """Write DIMACS clique format (1-based ids)."""
+    with _open_text(path, "wt") as fh:
+        fh.write(f"p edge {graph.n} {graph.m}\n")
+        for u, v in graph.edges():
+            fh.write(f"e {u + 1} {v + 1}\n")
+
+
+def read_metis(path: str | Path) -> CSRGraph:
+    """Read a METIS adjacency file (1-based; header ``n m [fmt]``)."""
+    with _open_text(path) as fh:
+        header = None
+        adjacency = []
+        for line in fh:
+            line = line.strip()
+            if line.startswith("%"):
+                continue
+            if header is None:
+                if not line:
+                    continue  # leading blank lines
+                header = line.split()
+                continue
+            # After the header a blank line is a vertex with no neighbors.
+            adjacency.append([int(x) - 1 for x in line.split()])
+    if header is None:
+        raise GraphFormatError("missing METIS header")
+    n = int(header[0])
+    if len(adjacency) != n:
+        raise GraphFormatError(f"expected {n} adjacency rows, got {len(adjacency)}")
+    from .builders import from_adjacency
+
+    return from_adjacency(adjacency)
+
+
+def write_metis(graph: CSRGraph, path: str | Path) -> None:
+    """Write METIS adjacency format (1-based ids)."""
+    with _open_text(path, "wt") as fh:
+        fh.write(f"{graph.n} {graph.m}\n")
+        for v in range(graph.n):
+            fh.write(" ".join(str(int(u) + 1) for u in graph.neighbors(v)) + "\n")
+
+
+def loads_edge_list(text: str) -> CSRGraph:
+    """Parse an edge list from a string (testing convenience)."""
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("wt", suffix=".txt", delete=False) as fh:
+        fh.write(text)
+        name = fh.name
+    try:
+        return read_edge_list(name)
+    finally:
+        Path(name).unlink(missing_ok=True)

@@ -1,0 +1,172 @@
+"""Operation counters, phase timers and work budgets.
+
+The paper's evaluation reports *work* (number of set operations, elements
+scanned, neighborhoods filtered; Figs. 2-5, 7 and Table III) alongside wall
+time.  In this reproduction operation counts are the primary cross-platform
+metric: they are deterministic, independent of the Python interpreter's
+speed, and directly comparable to the paper's relative numbers.
+
+Counters are plain attribute-backed integers (not a dict) because the
+early-exit intersection kernels increment them in the innermost loop; the
+instances are passed explicitly through the call tree — there is no global
+mutable state, which keeps the simulated-parallel execution deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Work counters accumulated during a solve.
+
+    Attributes mirror the quantities the paper reports:
+
+    * ``elements_scanned`` — elements of the left-hand set examined by any
+      intersection kernel; the unit of *work* used throughout the benches.
+    * ``intersections`` — kernel invocations.
+    * ``early_exit_false`` / ``early_exit_true`` — early terminations of the
+      early-exit kernels (Alg. 3/4); ``early_exit_true`` counts only the
+      *second* exit of ``intersect_size_gt_bool``.
+    * ``hash_lookups`` — membership probes against hash-set neighborhoods.
+    * ``neighborhoods_built_hash`` / ``neighborhoods_built_sorted`` — lazy
+      graph constructions (Fig. 4).
+    * ``neighbors_filtered_at_build`` — neighbors dropped by the lazy
+      coreness filter at construction time (Alg. 2 line 20).
+    * ``mc_subsolves`` / ``kvc_subsolves`` — algorithmic choice (Fig. 6).
+    * ``branch_nodes`` — branch-and-bound tree nodes across sub-solvers.
+    """
+
+    elements_scanned: int = 0
+    intersections: int = 0
+    early_exit_false: int = 0
+    early_exit_true: int = 0
+    hash_lookups: int = 0
+    hash_inserts: int = 0
+    neighborhoods_built_hash: int = 0
+    neighborhoods_built_sorted: int = 0
+    neighbors_filtered_at_build: int = 0
+    mc_subsolves: int = 0
+    kvc_subsolves: int = 0
+    branch_nodes: int = 0
+    colorings: int = 0
+    kernel_reductions: int = 0
+    incumbent_updates: int = 0
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate ``other`` into ``self`` (used at wave barriers)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "Counters":
+        """Independent copy of the current counts."""
+        c = Counters()
+        for f in fields(self):
+            setattr(c, f.name, getattr(self, f.name))
+        return c
+
+    def as_dict(self) -> dict:
+        """All counters as a plain dict (JSON-friendly)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def work(self) -> int:
+        """Total work in scanned-element units (the Fig. 7 metric)."""
+        return self.elements_scanned + self.branch_nodes + self.hash_inserts
+
+    def __repr__(self) -> str:  # compact, only non-zero fields
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return f"Counters({', '.join(parts)})"
+
+
+@dataclass
+class PhaseTimers:
+    """Wall-clock and work attribution per top-level phase of Alg. 1.
+
+    Phases correspond to Fig. 2: degree-based heuristic search, k-core
+    computation, sort-order determination, lazy-graph prepopulation,
+    coreness-based heuristic search, and systematic search.
+    """
+
+    seconds: dict = field(default_factory=dict)
+    work: dict = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float, work: int = 0) -> None:
+        """Accumulate time and work into ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.work[phase] = self.work.get(phase, 0) + work
+
+    def total_seconds(self) -> float:
+        """Sum of all phase times."""
+        return sum(self.seconds.values())
+
+    def relative(self) -> dict:
+        """Fraction of total time per phase (the Fig. 2 bars)."""
+        total = self.total_seconds()
+        if total <= 0.0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+
+class PhaseTimer:
+    """Context manager recording one phase into a :class:`PhaseTimers`.
+
+    Work attribution is computed as the counter delta across the phase so
+    nested phases must not overlap.
+    """
+
+    def __init__(self, timers: PhaseTimers, phase: str, counters: Counters | None = None):
+        self._timers = timers
+        self._phase = phase
+        self._counters = counters
+        self._t0 = 0.0
+        self._w0 = 0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._t0 = time.perf_counter()
+        self._w0 = self._counters.work if self._counters is not None else 0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dt = time.perf_counter() - self._t0
+        dw = (self._counters.work - self._w0) if self._counters is not None else 0
+        self._timers.add(self._phase, dt, dw)
+
+
+class WorkBudget:
+    """Combined operation-count and wall-clock budget.
+
+    The paper imposes a 30-minute timeout per solver run (Table II).  A pure
+    Python reproduction substitutes a deterministic operation budget checked
+    at branch points, plus an optional wall-clock limit.  ``check`` is cheap
+    (two comparisons) and is called from branch-and-bound node expansion and
+    the outer loops of the searches, not from intersection inner loops.
+    """
+
+    def __init__(self, max_work: int | None = None, max_seconds: float | None = None,
+                 counters: Counters | None = None):
+        self.max_work = max_work
+        self.max_seconds = max_seconds
+        self.counters = counters
+        self._deadline = (time.perf_counter() + max_seconds) if max_seconds else None
+        self._calls = 0
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.BudgetExceeded` when over budget."""
+        from .errors import BudgetExceeded
+
+        if self.max_work is not None and self.counters is not None:
+            if self.counters.work > self.max_work:
+                raise BudgetExceeded(f"work {self.counters.work} > {self.max_work}")
+        if self._deadline is not None:
+            # Amortize the perf_counter call: only sample the clock every
+            # 256 checks; the budget is a safety net, not a precise timer.
+            self._calls += 1
+            if (self._calls & 0xFF) == 0 and time.perf_counter() > self._deadline:
+                raise BudgetExceeded(f"wall clock exceeded {self.max_seconds}s")
+
+    @staticmethod
+    def unlimited() -> "WorkBudget":
+        return WorkBudget()

@@ -1,0 +1,155 @@
+"""Bit-parallel set representation (related-work extension, §VI).
+
+The paper's related work covers hardware bit-level parallelism for set
+intersections (San Segundo et al., pbitMCE).  This module provides a
+numpy-backed bitset over a bounded universe: membership is a shift-and-mask,
+intersection is a vectorized ``AND`` + popcount over 64-bit words.  It is
+the natural third representation next to the hopscotch hash set and the
+sorted array, and the micro-benchmarks (``bench/micro.py``) compare all
+three across densities.
+
+Bitsets shine when both operands live in the same *small, dense* universe —
+exactly the candidate sets of the dense bio graphs — and lose badly on
+sparse universes, where a single intersection touches every word of a
+mostly-empty vector.  That trade-off is the measured point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+_WORD = 64
+
+
+class BitsetSet:
+    """A set of ints drawn from ``range(universe)`` stored as packed bits."""
+
+    __slots__ = ("_words", "universe", "_size")
+
+    def __init__(self, universe: int, values: Iterable[int] = ()):
+        if universe < 0:
+            raise ValueError("universe must be non-negative")
+        self.universe = universe
+        self._words = np.zeros((universe + _WORD - 1) // _WORD, dtype=np.uint64)
+        self._size = 0
+        for v in values:
+            self.add(v)
+
+    @classmethod
+    def from_array(cls, universe: int, values: np.ndarray) -> "BitsetSet":
+        """Vectorized bulk construction."""
+        s = cls(universe)
+        values = np.asarray(values, dtype=np.int64)
+        if len(values):
+            if values.min() < 0 or values.max() >= universe:
+                raise ValueError("value out of universe")
+            values = np.unique(values)
+            words = values >> 6
+            bits = np.uint64(1) << (values & 63).astype(np.uint64)
+            np.bitwise_or.at(s._words, words, bits)
+            s._size = len(values)
+        return s
+
+    def add(self, value: int) -> bool:
+        """Insert; returns False when already present."""
+        if not 0 <= value < self.universe:
+            raise ValueError(f"value {value} outside universe {self.universe}")
+        w, b = value >> 6, np.uint64(1 << (value & 63))
+        if self._words[w] & b:
+            return False
+        self._words[w] |= b
+        self._size += 1
+        return True
+
+    def discard(self, value: int) -> bool:
+        """Remove if present; returns whether a removal happened."""
+        if not 0 <= value < self.universe:
+            return False
+        w, b = value >> 6, np.uint64(1 << (value & 63))
+        if self._words[w] & b:
+            self._words[w] &= ~b
+            self._size -= 1
+            return True
+        return False
+
+    def __contains__(self, value: int) -> bool:
+        if not 0 <= value < self.universe:
+            return False
+        return bool(self._words[value >> 6] & np.uint64(1 << (value & 63)))
+
+    def contains(self, value: int) -> bool:
+        """Alias of ``in`` (kernel protocol compatibility)."""
+        return value in self
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[int]:
+        yield from (int(v) for v in self.to_array())
+
+    def to_array(self) -> np.ndarray:
+        """Members as a sorted int64 array (vectorized unpack)."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        out = np.flatnonzero(bits[:self.universe])
+        return out.astype(np.int64)
+
+    # -- bit-parallel set algebra ---------------------------------------------------
+
+    def intersection_count(self, other: "BitsetSet") -> int:
+        """|self ∩ other| via vectorized AND + popcount."""
+        self._check_universe(other)
+        common = self._words & other._words
+        return int(np.unpackbits(common.view(np.uint8)).sum())
+
+    def intersection(self, other: "BitsetSet") -> "BitsetSet":
+        """``self ∩ other`` as a new bitset (vectorized AND)."""
+        self._check_universe(other)
+        out = BitsetSet(self.universe)
+        np.bitwise_and(self._words, other._words, out=out._words)
+        out._size = int(np.unpackbits(out._words.view(np.uint8)).sum())
+        return out
+
+    def union(self, other: "BitsetSet") -> "BitsetSet":
+        """``self ∪ other`` as a new bitset (vectorized OR)."""
+        self._check_universe(other)
+        out = BitsetSet(self.universe)
+        np.bitwise_or(self._words, other._words, out=out._words)
+        out._size = int(np.unpackbits(out._words.view(np.uint8)).sum())
+        return out
+
+    def difference(self, other: "BitsetSet") -> "BitsetSet":
+        """``self \\ other`` as a new bitset (vectorized AND-NOT)."""
+        self._check_universe(other)
+        out = BitsetSet(self.universe)
+        np.bitwise_and(self._words, ~other._words, out=out._words)
+        out._size = int(np.unpackbits(out._words.view(np.uint8)).sum())
+        return out
+
+    def intersection_size_gt(self, other: "BitsetSet", theta: int) -> bool:
+        """Bit-parallel analogue of ``intersect_size_gt_bool``.
+
+        Processes the AND word-by-word with a running popcount and exits as
+        soon as the count exceeds θ — a coarse-grained (64-element) version
+        of the early exit idea.
+        """
+        self._check_universe(other)
+        if theta < 0:
+            return True  # even the empty intersection exceeds a negative θ
+        count = 0
+        a, b = self._words, other._words
+        for i in range(len(a)):
+            w = a[i] & b[i]
+            if w:
+                count += bin(int(w)).count("1")
+                if count > theta:
+                    return True
+        return False
+
+    def _check_universe(self, other: "BitsetSet") -> None:
+        if self.universe != other.universe:
+            raise ValueError("bitset universes differ")
+
+    def __repr__(self) -> str:
+        return f"BitsetSet(universe={self.universe}, size={self._size})"

@@ -1,0 +1,219 @@
+"""Early-exit set intersection kernels (Alg. 3 and Alg. 4).
+
+Three operations, all asking "is the intersection larger than θ?":
+
+* :func:`intersect_size_gt_val` — return ``|A ∩ B|`` when it exceeds θ,
+  else the error code ``-1`` (early exit on the *false* side).
+* :func:`intersect_gt` — additionally materialize the intersection into a
+  caller-provided buffer (Alg. 3); used by both heuristic searches.
+* :func:`intersect_size_gt_bool` — boolean answer with *two* early exits
+  (Alg. 4): the false-side exit shared with the others, and a true-side
+  exit taken when so few elements remain unchecked that the answer cannot
+  flip back to false.  Used by filtering, where only the verdict matters.
+
+``A`` is an array (any integer sequence; the lazy graph passes sorted
+``int32`` views) and ``B`` is anything supporting ``__len__`` and
+``__contains__`` — a :class:`~repro.intersect.hashset.HopscotchSet`, a
+Python ``set``, or a :class:`SortedArraySet` adapter.
+
+The kernels track ``h = n - θ - misses``, the number of further misses
+tolerable before the intersection provably cannot exceed θ.  Every exit
+condition is expressed through ``h`` exactly as in the paper.
+
+All three accept an :class:`EarlyExitConfig` so the Fig. 5 ablation can
+disable (a) all early exits or (b) only the second, true-side exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..instrument import Counters
+
+
+@dataclass(frozen=True)
+class EarlyExitConfig:
+    """Ablation toggles for the intersection kernels (Fig. 5).
+
+    ``enabled=False`` makes every kernel scan all of ``A`` before applying
+    the threshold; ``second_exit=False`` disables only the true-side exit
+    of :func:`intersect_size_gt_bool`.
+    """
+
+    enabled: bool = True
+    second_exit: bool = True
+
+
+DEFAULT_CONFIG = EarlyExitConfig()
+
+
+class SortedArraySet:
+    """Adapter giving a sorted array the ``contains`` protocol.
+
+    Used when only the sorted-array representation of a neighborhood
+    exists and the caller has chosen not to build the hash set; membership
+    degrades to binary search.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: np.ndarray):
+        self._data = data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, value: int) -> bool:
+        d = self._data
+        i = int(np.searchsorted(d, value))
+        return i < len(d) and d[i] == value
+
+    def to_array(self) -> np.ndarray:
+        """The underlying sorted array."""
+        return self._data
+
+
+def intersect_size_gt_val(A, B, theta: int, counters: Counters | None = None,
+                          config: EarlyExitConfig = DEFAULT_CONFIG) -> int:
+    """Return ``|A ∩ B|`` if it is strictly larger than ``theta``, else -1.
+
+    Early-exits (false side) as soon as enough elements of ``A`` have
+    missed that the bound cannot be met.  With ``config.enabled`` false the
+    whole of ``A`` is scanned (ablation baseline).
+    """
+    n = len(A)
+    m = len(B)
+    scanned = 0
+    result = -2  # sentinel: not yet decided
+    if n <= theta or m <= theta:
+        result = -1
+        hits = 0
+    else:
+        limit_misses = n - theta  # == initial h
+        misses = 0
+        hits = 0
+        if config.enabled:
+            for a in range(n):
+                scanned += 1
+                if A[a] in B:
+                    hits += 1
+                else:
+                    misses += 1
+                    if misses >= limit_misses:
+                        result = -1
+                        break
+        else:
+            for a in range(n):
+                scanned += 1
+                if A[a] in B:
+                    hits += 1
+            misses = n - hits
+    if result == -2:
+        result = hits if hits > theta else -1
+    if counters is not None:
+        counters.intersections += 1
+        counters.elements_scanned += scanned
+        counters.hash_lookups += scanned
+        if result == -1 and scanned < n:
+            counters.early_exit_false += 1
+    return result
+
+
+def intersect_gt(A, B, out: np.ndarray | list, theta: int,
+                 counters: Counters | None = None,
+                 config: EarlyExitConfig = DEFAULT_CONFIG) -> int:
+    """Alg. 3: materializing variant of :func:`intersect_size_gt_val`.
+
+    When the intersection is larger than ``theta`` the result is stored in
+    ``out[0:size]`` (in ``A``'s order) and its size is returned; otherwise
+    -1 is returned and ``out`` holds an unspecified partial prefix.
+    """
+    n = len(A)
+    m = len(B)
+    scanned = 0
+    if n <= theta or m <= theta:
+        if counters is not None:
+            counters.intersections += 1
+        return -1
+    limit_misses = n - theta
+    misses = 0
+    hits = 0
+    result = -2
+    for a in range(n):
+        scanned += 1
+        x = A[a]
+        if x in B:
+            out[hits] = x
+            hits += 1
+        else:
+            misses += 1
+            if config.enabled and misses >= limit_misses:
+                result = -1
+                break
+    if result == -2:
+        result = hits if hits > theta else -1
+    if counters is not None:
+        counters.intersections += 1
+        counters.elements_scanned += scanned
+        counters.hash_lookups += scanned
+        if result == -1 and scanned < n:
+            counters.early_exit_false += 1
+    return result
+
+
+def intersect_size_gt_bool(A, B, theta: int, counters: Counters | None = None,
+                           config: EarlyExitConfig = DEFAULT_CONFIG) -> bool:
+    """Alg. 4: is ``|A ∩ B| > theta``?  Two early exits.
+
+    False side: too many misses (shared with the other kernels).  True
+    side: with ``h`` misses still tolerable and only ``n - a - 1`` elements
+    left unchecked after a hit, ``h > n - a - 1`` guarantees a true
+    verdict no matter what the rest of ``A`` does — this is the paper's
+    "second exit", profitable on very large sets (§IV-B).
+    """
+    n = len(A)
+    m = len(B)
+    if n <= theta or m <= theta:
+        if counters is not None:
+            counters.intersections += 1
+        return False
+    h = n - theta
+    scanned = 0
+    verdict: bool | None = None
+    for a in range(n):
+        scanned += 1
+        if A[a] in B:
+            if config.enabled and config.second_exit and h > n - a - 1:
+                verdict = True
+                break
+        else:
+            h -= 1
+            if config.enabled and h <= 0:
+                verdict = False
+                break
+    if counters is not None:
+        counters.intersections += 1
+        counters.elements_scanned += scanned
+        counters.hash_lookups += scanned
+        if verdict is False and scanned < n:
+            counters.early_exit_false += 1
+        elif verdict is True:
+            counters.early_exit_true += 1
+    if verdict is None:
+        verdict = h > 0
+    return verdict
+
+
+def intersect_exact(A, B, counters: Counters | None = None) -> list:
+    """Plain instrumented intersection (no threshold, no exits).
+
+    The reference kernel the ablations and property tests compare against.
+    """
+    out = [x for x in A if x in B]
+    if counters is not None:
+        counters.intersections += 1
+        counters.elements_scanned += len(A)
+        counters.hash_lookups += len(A)
+    return out

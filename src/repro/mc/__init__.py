@@ -1,0 +1,30 @@
+"""Subgraph maximum-clique solver (§IV-E).
+
+The paper's MC sub-solver is "derived from the Bron-Kerbosch algorithm ...
+uses Tomita's pivoting technique ... vertices sorted by degeneracy order ...
+pruning by comparison to the incumbent clique size [and] a coloring-based
+pruning rule".  That combination is the classic MCQ/MCS family; this package
+implements it over small set-adjacency subgraphs, which is how the
+systematic search consumes it.
+"""
+
+from .coloring import greedy_coloring, color_sort, chromatic_upper_bound
+from .branch_bound import max_clique_subgraph, MCSubgraphSolver
+from .bronkerbosch import bron_kerbosch_pivot, enumerate_maximal_cliques
+from .kclique import count_k_cliques, find_k_clique, has_k_clique
+from .weighted import MaxWeightCliqueSolver, max_weight_clique
+
+__all__ = [
+    "greedy_coloring",
+    "color_sort",
+    "chromatic_upper_bound",
+    "max_clique_subgraph",
+    "MCSubgraphSolver",
+    "bron_kerbosch_pivot",
+    "enumerate_maximal_cliques",
+    "count_k_cliques",
+    "find_k_clique",
+    "has_k_clique",
+    "MaxWeightCliqueSolver",
+    "max_weight_clique",
+]

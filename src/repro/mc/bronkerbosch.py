@@ -1,0 +1,58 @@
+"""Bron-Kerbosch maximal clique enumeration with Tomita pivoting.
+
+The paper derives its MC sub-solver from Bron-Kerbosch (§IV-E); enumeration
+itself is also what the early-exit intersection work [4] originally targeted.
+Provided both as a reference oracle for the branch-and-bound solver (the
+maximum clique is the largest maximal clique) and as a public API for users
+who need all maximal cliques.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..instrument import Counters, WorkBudget
+
+
+def bron_kerbosch_pivot(adj: list[set], counters: Counters | None = None,
+                        budget: WorkBudget | None = None) -> Iterator[list[int]]:
+    """Yield every maximal clique of the set-adjacency graph.
+
+    Tomita's pivot rule: pick the vertex of ``P ∪ X`` with the most
+    neighbors in ``P`` and only branch on ``P \\ N(pivot)``, which bounds
+    the recursion tree by O(3^(n/3)).
+    """
+    n = len(adj)
+
+    def recurse(r: list[int], p: set, x: set) -> Iterator[list[int]]:
+        if counters is not None:
+            counters.branch_nodes += 1
+        if budget is not None:
+            budget.check()
+        if not p and not x:
+            yield list(r)
+            return
+        pivot = max(p | x, key=lambda v: len(adj[v] & p))
+        if counters is not None:
+            counters.elements_scanned += len(p) + len(x)
+        for v in list(p - adj[pivot]):
+            yield from recurse(r + [v], p & adj[v], x & adj[v])
+            p.discard(v)
+            x.add(v)
+
+    yield from recurse([], set(range(n)), set())
+
+
+def enumerate_maximal_cliques(adj: list[set], counters: Counters | None = None,
+                              budget: WorkBudget | None = None) -> list[list[int]]:
+    """Materialize all maximal cliques (each sorted ascending)."""
+    return [sorted(c) for c in bron_kerbosch_pivot(adj, counters=counters, budget=budget)]
+
+
+def max_clique_by_enumeration(adj: list[set]) -> list[int]:
+    """Maximum clique by exhaustive enumeration — oracle for tests."""
+    best: list[int] = []
+    for clique in bron_kerbosch_pivot(adj):
+        if len(clique) > len(best):
+            best = clique
+    return sorted(best)

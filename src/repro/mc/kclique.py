@@ -1,0 +1,121 @@
+"""k-clique decision, search and counting.
+
+MC-BRB reduces maximum clique to a sequence of k-clique decisions (§V-A);
+these are the standalone primitives: does a k-clique exist, find one, count
+them all.  Decision/search reuse the color-bounded branch and bound with an
+aggressive stop-at-first policy; counting uses the degeneracy-ordered
+recursion (right-neighborhood intersections), which is the standard
+k-clique listing pattern on sparse graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.kcore import peeling_order
+from ..instrument import Counters, WorkBudget
+from .branch_bound import MCSubgraphSolver
+
+
+def find_k_clique(graph: CSRGraph, k: int, counters: Counters | None = None,
+                  budget: WorkBudget | None = None) -> list[int] | None:
+    """Return some clique of at least ``k`` vertices, or ``None``.
+
+    Scans vertices in degeneracy order and solves each eligible ego
+    network with lower bound k-1, stopping at the first hit — exactly
+    MC-BRB's inner decision step.
+    """
+    if k <= 0:
+        return []
+    if k == 1:
+        return [0] if graph.n else None
+    core, order = peeling_order(graph)
+    rank = np.empty(graph.n, dtype=np.int64)
+    rank[order] = np.arange(graph.n)
+    for v in order:
+        v = int(v)
+        if core[v] < k - 1:
+            continue
+        if budget is not None:
+            budget.check()
+        nbrs = graph.neighbors(v)
+        if counters is not None:
+            counters.elements_scanned += len(nbrs)
+        cand = [int(u) for u in nbrs if rank[u] > rank[v] and core[u] >= k - 1]
+        if len(cand) < k - 1:
+            continue
+        index = {u: i for i, u in enumerate(cand)}
+        adj: list[set] = [set() for _ in cand]
+        for i, u in enumerate(cand):
+            for x in graph.neighbors(u):
+                j = index.get(int(x))
+                if j is not None and j != i:
+                    adj[i].add(j)
+            if counters is not None:
+                counters.elements_scanned += graph.degree(u)
+        solver = MCSubgraphSolver(counters=counters, budget=budget)
+        found = solver.solve(adj, lower_bound=k - 2)
+        if found is not None and len(found) >= k - 1:
+            return sorted([v] + [cand[i] for i in found[:k - 1]])
+    return None
+
+
+def has_k_clique(graph: CSRGraph, k: int, counters: Counters | None = None,
+                 budget: WorkBudget | None = None) -> bool:
+    """Decision form of :func:`find_k_clique`."""
+    return find_k_clique(graph, k, counters=counters, budget=budget) is not None
+
+
+def count_k_cliques(graph: CSRGraph, k: int, counters: Counters | None = None,
+                    budget: WorkBudget | None = None) -> int:
+    """Number of k-vertex cliques (k >= 1), by degeneracy-ordered listing.
+
+    O(n * d^(k-1)) style recursion: each level intersects the candidate
+    set with a right-neighborhood.  Exact count; use with care for large
+    k on dense graphs (the count itself can be astronomically large).
+    """
+    if k <= 0:
+        return 1 if k == 0 else 0
+    if k == 1:
+        return graph.n
+    core, order = peeling_order(graph)
+    rank = np.empty(graph.n, dtype=np.int64)
+    rank[order] = np.arange(graph.n)
+
+    neighbor_sets = [None] * graph.n
+
+    def right_nbrs(v: int) -> list[int]:
+        return [int(u) for u in graph.neighbors(v) if rank[u] > rank[v]]
+
+    def nbr_set(v: int) -> set:
+        if neighbor_sets[v] is None:
+            neighbor_sets[v] = set(int(u) for u in graph.neighbors(v))
+        return neighbor_sets[v]
+
+    def count_within(cands: list[int], need: int) -> int:
+        """Number of ``need``-cliques whose vertices all lie in ``cands``
+        (which is a common neighborhood of the chosen prefix)."""
+        if budget is not None:
+            budget.check()
+        if need == 1:
+            return len(cands)
+        total = 0
+        for i, u in enumerate(cands):
+            deeper = [w for w in cands[i + 1:] if w in nbr_set(u)]
+            if counters is not None:
+                counters.elements_scanned += len(cands) - i - 1
+            if len(deeper) >= need - 1:
+                total += count_within(deeper, need - 1)
+        return total
+
+    total = 0
+    for v in range(graph.n):
+        if core[v] < k - 1:
+            continue
+        cands = right_nbrs(v)
+        if counters is not None:
+            counters.elements_scanned += graph.degree(v)
+        if len(cands) >= k - 1:
+            total += count_within(cands, k - 1)
+    return total

@@ -1,0 +1,29 @@
+"""Maximal clique enumeration (MCE).
+
+The paper positions MC next to MCE: both are dominated by set
+intersections, and the early-exit intersection idea originated in the
+author's MCE work [4].  This package provides production MCE on top of the
+same substrates LazyMC uses:
+
+* :func:`enumerate_cliques_degeneracy` — the Eppstein–Löffler–Strash
+  algorithm: outer loop over vertices in degeneracy order (bounding every
+  subproblem by the degeneracy), Tomita-pivoted Bron-Kerbosch inside.
+* :func:`count_maximal_cliques` / :func:`max_clique_via_mce` — counting and
+  an MCE-based exact MC oracle.
+* :class:`CliqueConsumer` — streaming consumption without materializing
+  the (potentially exponential) clique list.
+"""
+
+from .els import (
+    CliqueConsumer,
+    count_maximal_cliques,
+    enumerate_cliques_degeneracy,
+    max_clique_via_mce,
+)
+
+__all__ = [
+    "CliqueConsumer",
+    "count_maximal_cliques",
+    "enumerate_cliques_degeneracy",
+    "max_clique_via_mce",
+]

@@ -1,0 +1,38 @@
+"""Process-based outer parallelism for the bench harness.
+
+CPython processes sidestep the GIL but share nothing, so this backend is
+only suitable for embarrassingly parallel *outer* loops — e.g. solving many
+independent graphs during a benchmark sweep — never for the incumbent-
+coupled inner search (that is what :mod:`repro.parallel.scheduler`
+simulates).  Falls back to serial execution when processes are unavailable
+or the item count is small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_parallel(fn: Callable[[T], R], items: Sequence[T],
+                 processes: int | None = None, min_items: int = 4) -> list[R]:
+    """``[fn(x) for x in items]``, possibly across worker processes.
+
+    ``fn`` and the items must be picklable.  Order is preserved.  Any
+    failure to set up multiprocessing silently degrades to serial — results
+    are identical either way, only wall time differs.
+    """
+    items = list(items)
+    if processes == 1 or len(items) < min_items:
+        return [fn(x) for x in items]
+    try:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        procs = processes or min(ctx.cpu_count(), len(items))
+        with ctx.Pool(procs) as pool:
+            return pool.map(fn, items)
+    except Exception:
+        return [fn(x) for x in items]

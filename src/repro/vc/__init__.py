@@ -1,0 +1,26 @@
+"""k-vertex-cover solver and the clique-via-vertex-cover reduction (§IV-E).
+
+High-density candidate subgraphs are solved through the k-VC problem on
+their sparse complement: a clique of size s in G[N] is an independent set of
+size s in the complement, i.e. a vertex cover of size |N| - s.  The solver
+is a branch-and-bound on the highest-degree vertex with the Buss kernel and
+degree-0/1/2 kernelization rules (non-folding cases only, as in the paper),
+falling back to a polynomial algorithm once the maximum degree drops to 2.
+This mirrors the solver used by dOmega (Walteros & Buchanan).
+"""
+
+from .kernelization import kernelize, KernelResult
+from .paths_cycles import vc_paths_and_cycles, min_vc_size_paths_cycles
+from .branch_bound import decide_kvc, minimum_vertex_cover
+from .clique_via_vc import max_clique_via_vc, clique_exists_via_vc
+
+__all__ = [
+    "kernelize",
+    "KernelResult",
+    "vc_paths_and_cycles",
+    "min_vc_size_paths_cycles",
+    "decide_kvc",
+    "minimum_vertex_cover",
+    "max_clique_via_vc",
+    "clique_exists_via_vc",
+]

@@ -1,0 +1,97 @@
+"""Exactness and behavior tests for the baseline solvers (PMC, dOmega,
+MC-BRB, oracles) — all five algorithms of Table II must agree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import lazymc
+from repro.baselines import (
+    brute_force_max_clique_graph, domega, mcbrb, networkx_max_clique, pmc,
+)
+from repro.graph import complete_graph, empty_graph, from_edges
+from repro.graph import generators as gen
+from tests.conftest import brute_force_max_clique, random_graph
+
+SOLVERS = {
+    "pmc": lambda g: pmc(g),
+    "pmc_parallel": lambda g: pmc(g, threads=8),
+    "domega_ls": lambda g: domega(g, "ls"),
+    "domega_bs": lambda g: domega(g, "bs"),
+    "mcbrb": lambda g: mcbrb(g),
+}
+
+
+class TestBaselineExactness:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, name, seed):
+        g = random_graph(16, 0.25 + 0.08 * seed, seed=seed * 31 + 7)
+        expected = len(brute_force_max_clique(g))
+        r = SOLVERS[name](g)
+        assert r.omega == expected, name
+        assert r.verify(g), name
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_edge_cases(self, name):
+        solver = SOLVERS[name]
+        assert solver(empty_graph(0)).omega == 0
+        assert solver(empty_graph(4)).omega == 1
+        assert solver(complete_graph(6)).omega == 6
+        assert solver(from_edges(2, [(0, 1)])).omega == 2
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_structured_families(self, name):
+        solver = SOLVERS[name]
+        g, _ = gen.planted_clique(80, 0.05, 8, seed=2)
+        assert solver(g).omega == 8
+        g2 = gen.grid_road(6, 6, 0.4, seed=3)
+        assert solver(g2).omega == 4
+
+    @given(st.integers(4, 13), st.floats(0.15, 0.85), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_all_five_agree(self, n, p, seed):
+        """The Table II property: every algorithm computes the same ω."""
+        g = random_graph(n, p, seed=seed)
+        results = {name: fn(g).omega for name, fn in SOLVERS.items()}
+        results["lazymc"] = lazymc(g).omega
+        assert len(set(results.values())) == 1, results
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("name", ["pmc", "domega_ls", "domega_bs", "mcbrb"])
+    def test_budget_trips_to_timeout(self, name):
+        g = random_graph(40, 0.5, seed=1)
+        fn = {
+            "pmc": lambda: pmc(g, max_work=20),
+            "domega_ls": lambda: domega(g, "ls", max_work=20),
+            "domega_bs": lambda: domega(g, "bs", max_work=20),
+            "mcbrb": lambda: mcbrb(g, max_work=20),
+        }[name]
+        r = fn()
+        assert r.timed_out
+
+
+class TestOracles:
+    def test_networkx_oracle(self):
+        g = random_graph(15, 0.5, seed=4)
+        r = networkx_max_clique(g)
+        assert r.omega == len(brute_force_max_clique(g))
+        assert r.verify(g)
+
+    def test_brute_oracle(self):
+        g = random_graph(12, 0.6, seed=5)
+        r = brute_force_max_clique_graph(g)
+        assert r.verify(g)
+        assert r.omega == networkx_max_clique(g).omega
+
+
+class TestParallelPMC:
+    def test_threads_change_schedule_not_answer(self):
+        g = random_graph(30, 0.4, seed=6)
+        r1 = pmc(g, threads=1)
+        r8 = pmc(g, threads=8)
+        assert r1.omega == r8.omega
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            domega(complete_graph(3), variant="xx")

@@ -1,0 +1,103 @@
+"""Tests for the bench harness and text/markdown reporting."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import BenchConfig, geometric_mean, median, repeat_timed
+from repro.bench.reporting import render_table, rows_to_markdown
+
+
+class TestBenchConfig:
+    def test_default_dataset_list_is_registry(self):
+        from repro.datasets import names
+
+        assert BenchConfig().dataset_list() == names()
+
+    def test_subset(self):
+        cfg = BenchConfig(datasets=("CAroad", "dblp"))
+        assert cfg.dataset_list() == ["CAroad", "dblp"]
+
+
+class TestRepeatTimed:
+    def test_repeats_and_stats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            time.sleep(0.001)
+            return "v"
+
+        r = repeat_timed(fn, repeats=3)
+        assert len(calls) == 3
+        assert r.value == "v"
+        assert r.mean_seconds > 0
+        assert not r.timed_out
+
+    def test_timeout_short_circuits(self):
+        class R:
+            timed_out = True
+
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return R()
+
+        r = repeat_timed(fn, repeats=5, treat_as_timeout=lambda v: v.timed_out)
+        assert len(calls) == 1
+        assert r.timed_out
+
+    def test_single_repeat_no_stdev(self):
+        r = repeat_timed(lambda: 1, repeats=1)
+        assert r.stdev_pct == 0.0
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0, 0.0]) == pytest.approx(2.0)  # zeros dropped
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0]) == 1.5
+        assert median([]) == 0.0
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", None]])
+        lines = out.split("\n")
+        assert "name" in lines[0]
+        assert "T.O." in out
+        assert "1.500" in out
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table\n========")
+
+    def test_large_and_tiny_floats(self):
+        out = render_table(["v"], [[12345.6], [0.00001]])
+        assert "12,346" in out
+        assert "1.0e-05" in out
+
+    def test_markdown(self):
+        out = rows_to_markdown(["a", "b"], [[1, True], [None, False]])
+        lines = out.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | yes |" in out
+        assert "| T.O. | no |" in out
+
+
+class TestArtifactRegistry:
+    def test_all_ten_artifacts_registered(self):
+        from repro.bench import ARTIFACTS
+
+        assert set(ARTIFACTS) == {"table1", "table2", "table3",
+                                  "fig1", "fig2", "fig3", "fig4", "fig5",
+                                  "fig6", "fig7", "extras", "micro"}
+        for mod in ARTIFACTS.values():
+            assert hasattr(mod, "run")
+            assert hasattr(mod, "main")

@@ -1,0 +1,94 @@
+"""Shared fixtures and oracle helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edges
+
+
+def brute_force_max_clique(graph: CSRGraph) -> list[int]:
+    """Exponential-time oracle: only call on graphs with n <= ~18."""
+    best: list[int] = []
+    n = graph.n
+    adj = [graph.neighbor_set(v) for v in range(n)]
+
+    def extend(clique: list[int], candidates: list[int]) -> None:
+        nonlocal best
+        if len(clique) > len(best):
+            best = list(clique)
+        for i, v in enumerate(candidates):
+            if len(clique) + len(candidates) - i <= len(best):
+                return
+            new_cands = [u for u in candidates[i + 1:] if u in adj[v]]
+            extend(clique + [v], new_cands)
+
+    extend([], list(range(n)))
+    return best
+
+
+def nx_max_clique_size(graph: CSRGraph) -> int:
+    """networkx oracle (exact, weight-1 max weight clique)."""
+    import networkx as nx
+
+    g = graph.to_networkx()
+    clique, weight = nx.max_weight_clique(g, weight=None)
+    return len(clique)
+
+
+def random_graph(n: int, p: float, seed: int) -> CSRGraph:
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < p
+    mask = np.triu(mask, k=1)
+    u, v = np.nonzero(mask)
+    return from_edges(n, np.stack([u, v], axis=1))
+
+
+def naive_coreness(graph: CSRGraph) -> list[int]:
+    """Reference coreness by repeated minimum-degree removal."""
+    alive = set(range(graph.n))
+    deg = {v: graph.degree(v) for v in alive}
+    core = [0] * graph.n
+    k = 0
+    while alive:
+        v = min(alive, key=lambda x: deg[x])
+        k = max(k, deg[v])
+        core[v] = k
+        alive.remove(v)
+        for u in graph.neighbors(v):
+            u = int(u)
+            if u in alive:
+                deg[u] -= 1
+    return core
+
+
+@pytest.fixture
+def small_graphs():
+    """A corpus of small, structurally diverse graphs."""
+    graphs = {
+        "empty": from_edges(5, []),
+        "single_edge": from_edges(2, [(0, 1)]),
+        "triangle": from_edges(3, [(0, 1), (1, 2), (0, 2)]),
+        "path": from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]),
+        "cycle": from_edges(6, [(i, (i + 1) % 6) for i in range(6)]),
+        "star": from_edges(6, [(0, i) for i in range(1, 6)]),
+        "k5": from_edges(5, list(itertools.combinations(range(5), 2))),
+        "two_triangles": from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]),
+        "bowtie": from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]),
+        "petersen_like": random_graph(10, 0.4, seed=7),
+    }
+    return graphs
+
+
+@pytest.fixture
+def random_corpus():
+    """Seeded random graphs across the density spectrum."""
+    corpus = []
+    for seed, (n, p) in enumerate([(12, 0.2), (12, 0.5), (12, 0.8),
+                                   (16, 0.3), (16, 0.6), (18, 0.4),
+                                   (20, 0.25), (24, 0.15), (10, 0.9)]):
+        corpus.append(random_graph(n, p, seed=seed * 13 + 1))
+    return corpus

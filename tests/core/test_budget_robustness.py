@@ -1,0 +1,51 @@
+"""Budget-injection robustness: trip the work budget at many points and
+verify the solver always degrades gracefully (valid incumbent, flagged
+timeout, no exceptions, no corruption)."""
+
+import pytest
+
+from repro import LazyMCConfig, lazymc
+from repro.baselines import domega, mcbrb, pmc
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+class TestBudgetSweepLazyMC:
+    @pytest.mark.parametrize("max_work", [1, 10, 100, 1_000, 10_000, 10**9])
+    def test_any_budget_yields_valid_state(self, max_work):
+        g = random_graph(25, 0.45, seed=77)
+        omega = len(brute_force_max_clique(g))
+        r = lazymc(g, LazyMCConfig(max_work=max_work))
+        # The incumbent is always a real clique of the input graph.
+        assert g.is_clique(r.clique)
+        assert 1 <= r.omega <= omega
+        if not r.timed_out:
+            assert r.omega == omega
+        if max_work >= 10**9:
+            assert not r.timed_out
+
+    def test_budget_monotone_quality(self):
+        """More budget never yields a smaller clique (deterministic runs)."""
+        g = random_graph(30, 0.4, seed=78)
+        sizes = []
+        for max_work in (50, 500, 5_000, 50_000, 10**9):
+            r = lazymc(g, LazyMCConfig(max_work=max_work))
+            sizes.append(r.omega)
+        assert sizes == sorted(sizes)
+
+
+class TestBudgetSweepBaselines:
+    @pytest.mark.parametrize("solver", [
+        lambda g, w: pmc(g, max_work=w),
+        lambda g, w: domega(g, "ls", max_work=w),
+        lambda g, w: domega(g, "bs", max_work=w),
+        lambda g, w: mcbrb(g, max_work=w),
+    ], ids=["pmc", "domega_ls", "domega_bs", "mcbrb"])
+    @pytest.mark.parametrize("max_work", [1, 50, 5_000, 10**9])
+    def test_baselines_degrade_gracefully(self, solver, max_work):
+        g = random_graph(20, 0.4, seed=79)
+        omega = len(brute_force_max_clique(g))
+        r = solver(g, max_work)
+        assert g.is_clique(r.clique)
+        assert 0 <= r.omega <= omega
+        if not r.timed_out:
+            assert r.omega == omega

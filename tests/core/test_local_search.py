@@ -1,0 +1,70 @@
+"""Tests for the local-search clique improvement extension."""
+
+import pytest
+
+from repro import LazyMCConfig, lazymc
+from repro.core.local_search import improve_clique
+from repro.graph import complete_graph, from_edges
+from repro.instrument import Counters
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+class TestImproveClique:
+    def test_add_move_completes_clique(self):
+        g = complete_graph(6)
+        assert improve_clique(g, [0, 1]) == [0, 1, 2, 3, 4, 5]
+
+    def test_swap_move_escapes_local_trap(self):
+        # Vertex 0 forms a maximal 2-clique with 9; swapping 9 out for
+        # {1, 2} reaches the triangle {0, 1, 2} ... build: triangle 0-1-2,
+        # plus vertex 9 adjacent only to 0.
+        g = from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        improved = improve_clique(g, [0, 3])
+        assert len(improved) == 3
+        assert g.is_clique(improved)
+
+    def test_never_shrinks(self):
+        for seed in range(8):
+            g = random_graph(20, 0.4, seed=seed + 800)
+            start = [0]
+            improved = improve_clique(g, start)
+            assert len(improved) >= 1
+            assert g.is_clique(improved)
+            assert len(improved) <= len(brute_force_max_clique(g))
+
+    def test_empty_input(self):
+        g = complete_graph(3)
+        assert improve_clique(g, []) == []
+
+    def test_move_budget_respected(self):
+        g = complete_graph(30)
+        out = improve_clique(g, [0], max_moves=5)
+        # 5 add moves from a single vertex.
+        assert len(out) == 6
+
+    def test_rejects_non_clique_input(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(AssertionError):
+            improve_clique(g, [0, 2])
+
+    def test_counters(self):
+        c = Counters()
+        improve_clique(complete_graph(5), [0], counters=c)
+        assert c.elements_scanned > 0
+
+
+class TestSolverIntegration:
+    def test_local_search_config_exact(self):
+        for seed in range(5):
+            g = random_graph(18, 0.45, seed=seed + 60)
+            r = lazymc(g, LazyMCConfig(local_search=True))
+            assert r.omega == len(brute_force_max_clique(g))
+            assert r.verify(g)
+
+    def test_local_search_never_hurts_heuristic(self):
+        for seed in range(5):
+            g = random_graph(40, 0.3, seed=seed + 70)
+            base = lazymc(g)
+            ls = lazymc(g, LazyMCConfig(local_search=True))
+            assert ls.heuristic_degree_size >= base.heuristic_degree_size
+            assert ls.omega == base.omega

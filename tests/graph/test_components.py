@@ -1,0 +1,47 @@
+"""Tests for connected components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import complete_graph, empty_graph, from_edges
+from repro.graph.builders import union_disjoint
+from repro.graph.components import (
+    component_sizes, connected_components, largest_component,
+    number_of_components,
+)
+from tests.conftest import random_graph
+
+
+class TestComponents:
+    def test_empty(self):
+        assert number_of_components(empty_graph(0)) == 0
+        assert number_of_components(empty_graph(4)) == 4
+
+    def test_single_component(self):
+        assert number_of_components(complete_graph(6)) == 1
+
+    def test_disjoint_union(self):
+        g = union_disjoint(complete_graph(3), complete_graph(4), empty_graph(2))
+        assert number_of_components(g) == 4
+        assert list(component_sizes(g)) == [4, 3, 1, 1]
+
+    def test_labels_consistent_with_edges(self):
+        g = random_graph(30, 0.08, seed=5)
+        labels = connected_components(g)
+        for u, v in g.edges():
+            assert labels[u] == labels[v]
+
+    def test_largest_component(self):
+        g = union_disjoint(complete_graph(5), complete_graph(2))
+        assert list(largest_component(g)) == [0, 1, 2, 3, 4]
+
+    @given(st.integers(1, 25), st.floats(0.0, 0.4), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, n, p, seed):
+        import networkx as nx
+
+        g = random_graph(n, p, seed=seed)
+        ours = number_of_components(g)
+        theirs = nx.number_connected_components(g.to_networkx())
+        assert ours == theirs

@@ -1,0 +1,138 @@
+"""Unit tests for CSR graph storage and queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph import CSRGraph, from_edges, complete_graph, empty_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.n == 4
+        assert g.m == 0
+        assert g.density == 0.0
+
+    def test_zero_vertices(self):
+        g = empty_graph(0)
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_triangle(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.m == 3
+        assert g.density == 1.0
+
+    def test_neighbors_sorted_views(self):
+        g = from_edges(4, [(2, 0), (3, 0), (1, 0)])
+        nbrs = g.neighbors(0)
+        assert list(nbrs) == [1, 2, 3]
+        assert nbrs.base is g.indices  # zero-copy view
+
+    def test_duplicate_edges_collapse(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1), (0, 2)])
+        assert g.m == 2
+        assert g.degree(0) == 2
+
+    def test_self_loops_dropped(self):
+        g = from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.m == 1
+        assert g.degree(2) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edges(3, [(0, 3)])
+        with pytest.raises(GraphConstructionError):
+            from_edges(3, [(-1, 0)])
+
+    def test_validate_catches_asymmetry(self):
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int32)
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(indptr, indices)
+
+    def test_validate_catches_self_loop(self):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        # vertex 0 has a self loop plus edge to 1
+        indices = np.array([0, 1, 0, 0], dtype=np.int32)
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(indptr, indices)
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 3)
+
+    def test_degrees(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert list(g.degrees) == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_edges_iteration_once_each(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+    def test_edge_array_matches_edges(self):
+        g = from_edges(5, [(0, 1), (1, 2), (3, 4), (0, 4)])
+        arr = g.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(g.edges())
+
+    def test_density_complete(self):
+        assert complete_graph(6).density == 1.0
+
+    def test_is_clique(self):
+        g = complete_graph(5)
+        assert g.is_clique([0, 1, 2, 3, 4])
+        assert g.is_clique([1, 3])
+        assert g.is_clique([2])
+        g2 = from_edges(4, [(0, 1), (1, 2)])
+        assert not g2.is_clique([0, 1, 2])
+        assert not g2.is_clique([0, 0])  # duplicates are not a clique
+
+    def test_neighbor_set(self):
+        g = from_edges(4, [(0, 1), (0, 2)])
+        assert g.neighbor_set(0) == {1, 2}
+
+    def test_to_networkx_roundtrip(self):
+        g = from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 3
+
+    def test_equality(self):
+        a = from_edges(3, [(0, 1)])
+        b = from_edges(3, [(1, 0)])
+        c = from_edges(3, [(0, 2)])
+        assert a == b
+        assert a != c
+
+    def test_repr(self):
+        assert "n=3" in repr(from_edges(3, [(0, 1)]))
+
+
+class TestEdgeDataTypes:
+    def test_numpy_edge_array_input(self):
+        import numpy as np
+
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        g = from_edges(3, edges)
+        assert g.m == 2
+
+    def test_int32_ids_roundtrip(self):
+        """Neighbor storage is int32; ids near the top of the range work."""
+        import numpy as np
+
+        n = 100_000
+        edges = [(0, n - 1), (n - 2, n - 1)]
+        g = from_edges(n, edges)
+        assert g.has_edge(0, n - 1)
+        assert g.degree(n - 1) == 2
+        assert g.indices.dtype == np.int32

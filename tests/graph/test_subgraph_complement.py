@@ -1,0 +1,105 @@
+"""Tests for induced subgraphs, density and complement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphConstructionError
+from repro.graph import (
+    from_edges, complete_graph, empty_graph, complement,
+    induced_subgraph, induced_adjacency_sets, subgraph_density,
+)
+from repro.graph.subgraph import edges_within
+from repro.graph.complement import complement_adjacency_sets
+from tests.conftest import random_graph
+
+
+class TestInducedSubgraph:
+    def test_triangle_from_k4_plus(self):
+        g = from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+        sub = induced_subgraph(g, np.array([0, 1, 2]))
+        assert sub.n == 3
+        assert sub.m == 3
+
+    def test_preserves_input_order(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub = induced_subgraph(g, np.array([3, 1, 2]))
+        # local 0 = old 3, local 1 = old 1, local 2 = old 2
+        assert sub.has_edge(0, 2)   # 3-2
+        assert sub.has_edge(1, 2)   # 1-2
+        assert not sub.has_edge(0, 1)
+
+    def test_duplicates_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(GraphConstructionError):
+            induced_subgraph(g, np.array([0, 0, 1]))
+
+    def test_empty_selection(self):
+        g = complete_graph(4)
+        sub = induced_subgraph(g, np.array([], dtype=np.int64))
+        assert sub.n == 0
+
+    def test_matches_networkx(self):
+        g = random_graph(20, 0.3, seed=21)
+        verts = np.array([1, 4, 7, 10, 13, 16])
+        sub = induced_subgraph(g, verts)
+        nxg = g.to_networkx().subgraph(verts.tolist())
+        assert sub.m == nxg.number_of_edges()
+
+
+class TestAdjacencySets:
+    def test_matches_induced_subgraph(self):
+        g = random_graph(15, 0.4, seed=8)
+        verts = np.array([0, 3, 6, 9, 12])
+        adj = induced_adjacency_sets(g, verts)
+        sub = induced_subgraph(g, verts)
+        for i in range(len(verts)):
+            assert adj[i] == sub.neighbor_set(i)
+
+
+class TestDensity:
+    def test_clique_density_one(self):
+        g = complete_graph(6)
+        assert subgraph_density(g, np.arange(6)) == 1.0
+        assert subgraph_density(g, np.array([0, 2, 4])) == 1.0
+
+    def test_empty_density_zero(self):
+        g = empty_graph(5)
+        assert subgraph_density(g, np.arange(5)) == 0.0
+        assert subgraph_density(g, np.array([0])) == 0.0
+
+    def test_matches_materialized_density(self):
+        g = random_graph(18, 0.35, seed=3)
+        verts = np.array([0, 2, 5, 7, 11, 13, 17])
+        assert subgraph_density(g, verts) == pytest.approx(
+            induced_subgraph(g, verts).density)
+
+    def test_edges_within(self):
+        g = from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        assert edges_within(g, np.array([0, 1, 2])) == 3
+        assert edges_within(g, np.array([0, 3, 4])) == 1
+        assert edges_within(g, np.array([1, 3])) == 0
+
+
+class TestComplement:
+    def test_complement_of_empty_is_complete(self):
+        assert complement(empty_graph(5)) == complete_graph(5)
+
+    def test_complement_of_complete_is_empty(self):
+        assert complement(complete_graph(5)) == empty_graph(5)
+
+    def test_involution(self):
+        g = random_graph(12, 0.4, seed=17)
+        assert complement(complement(g)) == g
+
+    @given(st.integers(2, 12), st.floats(0.0, 1.0), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_counts_complementary(self, n, p, seed):
+        g = random_graph(n, p, seed=seed)
+        gc = complement(g)
+        assert g.m + gc.m == n * (n - 1) // 2
+
+    def test_complement_adjacency_sets(self):
+        adj = [{1}, {0}, set()]
+        comp = complement_adjacency_sets(adj)
+        assert comp == [{2}, {2}, {0, 1}]

@@ -1,0 +1,87 @@
+"""Tests for the bit-parallel set representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.intersect.bitset import BitsetSet
+
+
+class TestBasics:
+    def test_empty(self):
+        s = BitsetSet(100)
+        assert len(s) == 0
+        assert 5 not in s
+        assert list(s) == []
+
+    def test_add_contains_discard(self):
+        s = BitsetSet(100)
+        assert s.add(63)
+        assert s.add(64)
+        assert not s.add(63)
+        assert 63 in s and 64 in s and 65 not in s
+        assert s.discard(63)
+        assert not s.discard(63)
+        assert len(s) == 1
+
+    def test_out_of_universe(self):
+        s = BitsetSet(10)
+        with pytest.raises(ValueError):
+            s.add(10)
+        with pytest.raises(ValueError):
+            s.add(-1)
+        assert 10 not in s  # contains is lenient
+        assert not s.discard(10)
+
+    def test_from_array(self):
+        s = BitsetSet.from_array(200, np.array([5, 70, 5, 199]))
+        assert len(s) == 3
+        assert list(s.to_array()) == [5, 70, 199]
+
+    def test_from_array_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitsetSet.from_array(10, np.array([10]))
+
+    def test_zero_universe(self):
+        s = BitsetSet(0)
+        assert len(s) == 0
+        assert 0 not in s
+
+
+class TestSetAlgebra:
+    @given(st.sets(st.integers(0, 127), max_size=60),
+           st.sets(st.integers(0, 127), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_sets(self, a, b):
+        sa = BitsetSet(128, a)
+        sb = BitsetSet(128, b)
+        assert set(sa.intersection(sb)) == a & b
+        assert set(sa.union(sb)) == a | b
+        assert set(sa.difference(sb)) == a - b
+        assert sa.intersection_count(sb) == len(a & b)
+        assert len(sa) == len(a)
+
+    @given(st.sets(st.integers(0, 255), max_size=80),
+           st.sets(st.integers(0, 255), max_size=80),
+           st.integers(-1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_size_gt_matches(self, a, b, theta):
+        sa = BitsetSet(256, a)
+        sb = BitsetSet(256, b)
+        assert sa.intersection_size_gt(sb, theta) == (len(a & b) > theta)
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValueError):
+            BitsetSet(64).intersection(BitsetSet(128))
+
+
+class TestInterop:
+    def test_usable_as_b_side_in_early_exit_kernels(self):
+        """BitsetSet satisfies the kernels' contains/len protocol."""
+        from repro.intersect import intersect_size_gt_bool, intersect_size_gt_val
+
+        b = BitsetSet(64, {1, 2, 3, 10})
+        a = np.array([1, 2, 3, 4, 5])
+        assert intersect_size_gt_val(a, b, 2) == 3
+        assert intersect_size_gt_bool(a, b, 2) is True
+        assert intersect_size_gt_bool(a, b, 3) is False

@@ -1,0 +1,137 @@
+"""Tests for the hopscotch hash set, including hypothesis model checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.intersect import HopscotchSet
+from repro.intersect.hashset import H
+
+
+class TestBasics:
+    def test_empty(self):
+        s = HopscotchSet()
+        assert len(s) == 0
+        assert 5 not in s
+        assert list(s) == []
+
+    def test_add_contains(self):
+        s = HopscotchSet()
+        assert s.add(7)
+        assert 7 in s
+        assert 8 not in s
+        assert len(s) == 1
+
+    def test_duplicate_add(self):
+        s = HopscotchSet()
+        assert s.add(3)
+        assert not s.add(3)
+        assert len(s) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HopscotchSet().add(-1)
+
+    def test_zero_is_storable(self):
+        s = HopscotchSet()
+        s.add(0)
+        assert 0 in s
+
+    def test_discard(self):
+        s = HopscotchSet.from_iterable([1, 2, 3])
+        assert s.discard(2)
+        assert 2 not in s
+        assert not s.discard(2)
+        assert len(s) == 2
+
+    def test_from_iterable_and_to_array(self):
+        s = HopscotchSet.from_iterable([5, 1, 9, 1, 5])
+        assert len(s) == 3
+        assert list(s.to_array()) == [1, 5, 9]
+
+    def test_iteration_matches_membership(self):
+        vals = [3, 1, 4, 15, 92, 65]
+        s = HopscotchSet.from_iterable(vals)
+        assert sorted(s) == sorted(set(vals))
+
+
+class TestGrowth:
+    def test_many_inserts_trigger_resize(self):
+        s = HopscotchSet(expected=4)
+        start_cap = s.capacity
+        for i in range(10_000):
+            s.add(i * 7919)  # spread-out keys
+        assert len(s) == 10_000
+        assert s.capacity > start_cap
+        for i in range(0, 10_000, 97):
+            assert i * 7919 in s
+        assert (10_000 * 7919 + 1) not in s
+
+    def test_dense_sequential_keys(self):
+        s = HopscotchSet()
+        for i in range(5000):
+            s.add(i)
+        assert len(s) == 5000
+        assert all(i in s for i in range(0, 5000, 131))
+
+    def test_adversarial_same_home_keys(self):
+        """More than H keys hashing near each other must still insert."""
+        s = HopscotchSet(expected=8)
+        cap = s.capacity
+        # Craft many keys; collisions will force displacement/resize paths.
+        keys = [i * cap for i in range(4 * H)]
+        for k in keys:
+            s.add(k)
+        assert all(k in s for k in keys)
+
+    def test_load_factor_reasonable(self):
+        s = HopscotchSet.from_iterable(range(1000))
+        assert 0.2 < s.load_factor <= 1.0
+
+
+class TestModelEquivalence:
+    @given(st.lists(st.tuples(st.sampled_from(["add", "discard", "contains"]),
+                              st.integers(0, 200)), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_against_python_set(self, ops):
+        model: set[int] = set()
+        s = HopscotchSet()
+        for op, v in ops:
+            if op == "add":
+                assert s.add(v) == (v not in model)
+                model.add(v)
+            elif op == "discard":
+                assert s.discard(v) == (v in model)
+                model.discard(v)
+            else:
+                assert (v in s) == (v in model)
+            assert len(s) == len(model)
+        assert sorted(s) == sorted(model)
+
+    @given(st.sets(st.integers(0, 10**9), max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load(self, values):
+        s = HopscotchSet.from_iterable(values)
+        assert len(s) == len(values)
+        assert set(s) == values
+        assert np.array_equal(s.to_array(), np.sort(np.fromiter(values, dtype=np.int64,
+                                                                count=len(values))))
+
+
+class TestHopscotchInvariant:
+    def test_elements_within_neighborhood(self):
+        """Every element sits within H-1 slots of its home bucket."""
+        s = HopscotchSet()
+        rng = np.random.default_rng(0)
+        for v in rng.integers(0, 10**6, size=3000):
+            s.add(int(v))
+        table = s._table
+        cap = s.capacity
+        for slot in range(cap):
+            v = int(table[slot])
+            if v < 0:
+                continue
+            home = s._home(v)
+            dist = (slot - home) % cap
+            assert dist < H
+            assert (int(s._hop[home]) >> dist) & 1

@@ -1,0 +1,99 @@
+"""Equivalence tests: chunked numpy kernels == scalar early-exit kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import Counters
+from repro.intersect import (
+    intersect_gt, intersect_size_gt_bool, intersect_size_gt_val,
+)
+from repro.intersect.bitset import BitsetSet
+from repro.intersect.vectorized import (
+    BitsetMembership, SortedMembership,
+    intersect_gt_chunked, intersect_size_gt_bool_chunked,
+    intersect_size_gt_val_chunked,
+)
+
+
+def make_membership(values, kind):
+    if kind == "sorted":
+        return SortedMembership(np.asarray(sorted(values), dtype=np.int64))
+    return BitsetMembership(BitsetSet(512, values))
+
+
+KINDS = ["sorted", "bitset"]
+
+
+class TestMembershipAdapters:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_contains_many(self, kind):
+        b = make_membership({3, 7, 100}, kind)
+        mask = b.contains_many(np.array([1, 3, 7, 99, 100]))
+        assert list(mask) == [False, True, True, False, True]
+        assert len(b) == 3
+
+    def test_empty_sorted(self):
+        b = SortedMembership(np.array([], dtype=np.int64))
+        assert not b.contains_many(np.array([1, 2])).any()
+
+    def test_bitset_out_of_universe_values(self):
+        b = BitsetMembership(BitsetSet(16, {3}))
+        mask = b.contains_many(np.array([-5, 3, 100]))
+        assert list(mask) == [False, True, False]
+
+
+class TestChunkedEquivalence:
+    @given(
+        st.lists(st.integers(0, 500), max_size=200, unique=True),
+        st.sets(st.integers(0, 500), max_size=200),
+        st.integers(-2, 210),
+        st.sampled_from(KINDS),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_verdicts_match_scalar(self, a_list, b_set, theta, kind):
+        a = np.asarray(a_list, dtype=np.int64)
+        b_vec = make_membership(b_set, kind)
+        true_size = len(set(a_list) & b_set)
+
+        val = intersect_size_gt_val_chunked(a, b_vec, theta)
+        assert val == (true_size if true_size > theta else -1)
+
+        assert intersect_size_gt_bool_chunked(a, b_vec, theta) == \
+            (true_size > theta)
+
+        out = np.empty(max(len(a), 1), dtype=np.int64)
+        gt = intersect_gt_chunked(a, b_vec, out, theta)
+        if true_size > theta:
+            assert gt == true_size
+            assert set(out[:gt].tolist()) == set(a_list) & b_set
+        else:
+            assert gt == -1
+
+    def test_chunked_exits_save_scans(self):
+        # 1000 elements, none in B, theta high: the false exit fires after
+        # roughly one chunk instead of the full scan.
+        a = np.arange(1000)
+        b = SortedMembership(np.arange(2000, 2100))
+        c = Counters()
+        assert intersect_size_gt_val_chunked(a, b, 990, counters=c) == -1
+        assert c.elements_scanned <= 2 * 64
+        assert c.early_exit_false == 1
+
+    def test_chunked_second_exit(self):
+        a = np.arange(1000)
+        b = SortedMembership(np.arange(1000))
+        c = Counters()
+        assert intersect_size_gt_bool_chunked(a, b, 10, counters=c) is True
+        assert c.elements_scanned <= 2 * 64
+        assert c.early_exit_true == 1
+
+    def test_scalar_and_chunked_count_same_intersections(self):
+        a = np.arange(50)
+        b_scalar = set(range(25))
+        b_vec = SortedMembership(np.arange(25))
+        cs, cv = Counters(), Counters()
+        r1 = intersect_size_gt_val(a, b_scalar, 10, counters=cs)
+        r2 = intersect_size_gt_val_chunked(a, b_vec, 10, counters=cv)
+        assert r1 == r2 == 25
+        assert cs.intersections == cv.intersections == 1

@@ -1,0 +1,127 @@
+"""Tests for DSATUR coloring and the optional root bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import complete_graph, from_edges
+from repro.graph.subgraph import induced_adjacency_sets
+from repro.instrument import Counters
+from repro.mc import MCSubgraphSolver, chromatic_upper_bound
+from repro.mc.coloring import dsatur_coloring
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+def adj_of(graph):
+    return induced_adjacency_sets(graph, np.arange(graph.n))
+
+
+class TestDsatur:
+    def test_proper_and_bounded(self):
+        for seed in range(6):
+            g = random_graph(18, 0.4, seed=seed + 500)
+            adj = adj_of(g)
+            colors = dsatur_coloring(adj)
+            assert set(colors) == set(range(g.n))
+            for v in range(g.n):
+                for u in adj[v]:
+                    assert colors[u] != colors[v]
+            assert max(colors.values()) >= len(brute_force_max_clique(g))
+
+    def test_never_worse_than_greedy_on_structured(self):
+        # Crown-ish bipartite graph: greedy in bad order can use many
+        # colors, DSATUR stays at 2.
+        edges = [(i, 5 + j) for i in range(5) for j in range(5) if i != j]
+        g = from_edges(10, edges)
+        adj = adj_of(g)
+        assert max(dsatur_coloring(adj).values()) == 2
+
+    def test_complete_graph(self):
+        adj = adj_of(complete_graph(5))
+        assert max(dsatur_coloring(adj).values()) == 5
+
+    def test_counters(self):
+        c = Counters()
+        dsatur_coloring(adj_of(random_graph(10, 0.5, seed=1)), counters=c)
+        assert c.colorings == 1
+        assert c.elements_scanned > 0
+
+    @given(st.integers(2, 14), st.floats(0.1, 0.9), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_dsatur_is_valid_clique_bound(self, n, p, seed):
+        g = random_graph(n, p, seed=seed)
+        adj = adj_of(g)
+        ds = max(dsatur_coloring(adj).values())
+        assert ds >= len(brute_force_max_clique(g))
+        assert ds <= g.n
+
+
+class TestRootBound:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            MCSubgraphSolver(root_bound="rainbow")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dsatur_root_bound_exact(self, seed):
+        g = random_graph(16, 0.45, seed=seed * 11 + 3)
+        adj = adj_of(g)
+        omega = len(brute_force_max_clique(g))
+        plain = MCSubgraphSolver().solve(adj)
+        with_bound = MCSubgraphSolver(root_bound="dsatur").solve(adj)
+        assert len(plain) == len(with_bound) == omega
+
+    def test_root_bound_refutes_cheaply(self):
+        # Bipartite graph: DSATUR proves omega <= 2 in one coloring, so a
+        # lower bound of 2 refutes without any branching.
+        from repro.graph.generators import bipartite_random
+
+        g = bipartite_random(10, 10, 0.5, seed=2)
+        adj = adj_of(g)
+        c = Counters()
+        result = MCSubgraphSolver(counters=c, root_bound="dsatur").solve(
+            adj, lower_bound=2)
+        assert result is None
+        assert c.branch_nodes == 0
+        assert c.colorings == 1
+
+
+class TestUniversalReduction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exactness_preserved(self, seed):
+        g = random_graph(16, 0.5 + 0.04 * (seed % 4), seed=seed * 13 + 5)
+        adj = adj_of(g)
+        omega = len(brute_force_max_clique(g))
+        plain = MCSubgraphSolver().solve(adj)
+        reduced = MCSubgraphSolver(reduce_universal=True).solve(adj)
+        assert len(plain) == len(reduced) == omega
+        # Result must be a clique.
+        vs = sorted(reduced)
+        assert all(vs[j] in adj[vs[i]]
+                   for i in range(len(vs)) for j in range(i + 1, len(vs)))
+
+    def test_clique_solved_without_branching(self):
+        adj = adj_of(complete_graph(10))
+        c = Counters()
+        solver = MCSubgraphSolver(counters=c, reduce_universal=True)
+        result = solver.solve(adj)
+        assert sorted(result) == list(range(10))
+        assert c.branch_nodes == 0  # all peeled by the universal rule
+        assert c.kernel_reductions == 10
+
+    def test_lower_bound_interaction(self):
+        adj = adj_of(complete_graph(6))
+        solver = MCSubgraphSolver(reduce_universal=True)
+        assert solver.solve(adj, lower_bound=6) is None
+        assert sorted(solver.solve(adj, lower_bound=5)) == list(range(6))
+
+    def test_with_lower_bound_on_random(self):
+        for seed in range(5):
+            g = random_graph(14, 0.6, seed=seed + 60)
+            adj = adj_of(g)
+            omega = len(brute_force_max_clique(g))
+            for lb in (0, omega - 1, omega, omega + 1):
+                res = MCSubgraphSolver(reduce_universal=True).solve(adj, lb)
+                if omega > lb:
+                    assert res is not None and len(res) == omega
+                else:
+                    assert res is None

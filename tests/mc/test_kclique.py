@@ -1,0 +1,79 @@
+"""Tests for the k-clique decision/search/counting primitives."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import complete_graph, empty_graph, from_edges
+from repro.instrument import Counters
+from repro.mc.kclique import count_k_cliques, find_k_clique, has_k_clique
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+def brute_count_k_cliques(graph, k):
+    count = 0
+    adj = [graph.neighbor_set(v) for v in range(graph.n)]
+    for subset in itertools.combinations(range(graph.n), k):
+        if all(subset[j] in adj[subset[i]]
+               for i in range(k) for j in range(i + 1, k)):
+            count += 1
+    return count
+
+
+class TestFindKClique:
+    def test_trivial_sizes(self):
+        g = complete_graph(4)
+        assert find_k_clique(g, 0) == []
+        assert find_k_clique(g, 1) == [0]
+        assert find_k_clique(empty_graph(0), 1) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decision_matches_omega(self, seed):
+        g = random_graph(15, 0.5, seed=seed + 700)
+        omega = len(brute_force_max_clique(g))
+        for k in range(1, omega + 3):
+            found = find_k_clique(g, k)
+            if k <= omega:
+                assert found is not None
+                assert len(found) >= k
+                assert g.is_clique(found[:k]) or g.is_clique(found)
+            else:
+                assert found is None
+            assert has_k_clique(g, k) == (k <= omega)
+
+    def test_returns_exactly_k_vertices_when_bigger_exists(self):
+        g = complete_graph(8)
+        found = find_k_clique(g, 3)
+        assert found is not None
+        assert g.is_clique(found)
+
+
+class TestCountKCliques:
+    def test_edges_and_triangles(self):
+        g = from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert count_k_cliques(g, 1) == 4
+        assert count_k_cliques(g, 2) == 4  # edges
+        assert count_k_cliques(g, 3) == 1  # one triangle
+        assert count_k_cliques(g, 4) == 0
+
+    def test_complete_graph_binomials(self):
+        g = complete_graph(7)
+        for k in range(1, 8):
+            assert count_k_cliques(g, k) == math.comb(7, k)
+
+    def test_zero_k(self):
+        assert count_k_cliques(complete_graph(3), 0) == 1
+
+    @given(st.integers(3, 12), st.floats(0.2, 0.8), st.integers(0, 10**6),
+           st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, n, p, seed, k):
+        g = random_graph(n, p, seed=seed)
+        assert count_k_cliques(g, k) == brute_count_k_cliques(g, k)
+
+    def test_counters(self):
+        c = Counters()
+        count_k_cliques(random_graph(12, 0.5, seed=1), 3, counters=c)
+        assert c.elements_scanned > 0

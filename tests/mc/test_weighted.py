@@ -1,0 +1,104 @@
+"""Tests for the vertex-weighted maximum clique solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BudgetExceeded
+from repro.graph import complete_graph, from_edges
+from repro.graph.subgraph import induced_adjacency_sets
+from repro.instrument import Counters, WorkBudget
+from repro.mc.weighted import MaxWeightCliqueSolver, max_weight_clique
+from tests.conftest import random_graph
+
+
+def adj_of(graph):
+    return induced_adjacency_sets(graph, np.arange(graph.n))
+
+
+def nx_max_weight(graph, weights):
+    import networkx as nx
+
+    g = graph.to_networkx()
+    for v in g.nodes:
+        g.nodes[v]["weight"] = weights[v]
+    clique, weight = nx.max_weight_clique(g, weight="weight")
+    return sorted(clique), weight
+
+
+class TestBasics:
+    def test_empty(self):
+        assert max_weight_clique([], []) == ([], 0.0)
+
+    def test_single_vertex(self):
+        assert max_weight_clique([set()], [5.0]) == ([0], 5.0)
+
+    def test_heavy_vertex_beats_clique(self):
+        # Triangle of weight 3 vs isolated vertex of weight 10.
+        g = from_edges(4, [(0, 1), (1, 2), (0, 2)])
+        vertices, weight = max_weight_clique(adj_of(g), [1, 1, 1, 10])
+        assert vertices == [3]
+        assert weight == 10
+
+    def test_unit_weights_match_cardinality(self):
+        from repro.mc import max_clique_subgraph
+
+        for seed in range(5):
+            g = random_graph(15, 0.5, seed=seed + 2000)
+            adj = adj_of(g)
+            _, weight = max_weight_clique(adj, [1.0] * g.n)
+            assert weight == len(max_clique_subgraph(adj))
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            MaxWeightCliqueSolver([0.0])
+        with pytest.raises(ValueError):
+            MaxWeightCliqueSolver([1.0, -2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MaxWeightCliqueSolver([1.0]).solve([set(), set()])
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_integer_weights(self, seed):
+        rng = np.random.default_rng(seed + 3000)
+        g = random_graph(14, 0.45, seed=seed + 3000)
+        weights = [int(w) for w in rng.integers(1, 20, size=g.n)]
+        vertices, weight = max_weight_clique(adj_of(g), weights)
+        nx_vertices, nx_weight = nx_max_weight(g, weights)
+        assert weight == nx_weight
+        assert sum(weights[v] for v in vertices) == weight
+        # The clique is valid.
+        adj = adj_of(g)
+        assert all(vertices[j] in adj[vertices[i]]
+                   for i in range(len(vertices))
+                   for j in range(i + 1, len(vertices)))
+
+    @given(st.integers(3, 12), st.floats(0.2, 0.8), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_networkx(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(n, p, seed=seed)
+        weights = [int(w) for w in rng.integers(1, 15, size=g.n)]
+        _, weight = max_weight_clique(adj_of(g), weights)
+        assert weight == nx_max_weight(g, weights)[1]
+
+
+class TestBounds:
+    def test_lower_bound_refutation(self):
+        g = complete_graph(4)
+        solver = MaxWeightCliqueSolver([1.0, 2.0, 3.0, 4.0])
+        assert solver.solve(adj_of(g), lower_bound=10.0) is None
+        found = solver.solve(adj_of(g), lower_bound=9.0)
+        assert found is not None
+        assert found[1] == 10.0
+
+    def test_budget(self):
+        g = random_graph(25, 0.7, seed=1)
+        c = Counters()
+        budget = WorkBudget(max_work=5, counters=c)
+        solver = MaxWeightCliqueSolver([1.0] * g.n, counters=c, budget=budget)
+        with pytest.raises(BudgetExceeded):
+            solver.solve(adj_of(g))

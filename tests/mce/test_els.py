@@ -1,0 +1,99 @@
+"""Tests for degeneracy-order maximal clique enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BudgetExceeded
+from repro.graph import complete_graph, empty_graph, from_edges
+from repro.instrument import Counters, WorkBudget
+from repro.mce import (
+    CliqueConsumer, count_maximal_cliques, enumerate_cliques_degeneracy,
+    max_clique_via_mce,
+)
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+def nx_maximal_cliques(graph):
+    import networkx as nx
+
+    return {tuple(sorted(c)) for c in nx.find_cliques(graph.to_networkx())}
+
+
+class TestEnumeration:
+    def test_empty_graph(self):
+        assert count_maximal_cliques(empty_graph(0)) == 0
+
+    def test_isolated_vertices_are_cliques(self):
+        assert count_maximal_cliques(empty_graph(4)) == 4
+
+    def test_complete_graph_single_clique(self):
+        c = enumerate_cliques_degeneracy(complete_graph(6))
+        assert c.count == 1
+        assert c.largest == list(range(6))
+
+    def test_path(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert count_maximal_cliques(g) == 3
+
+    def test_mixed_components(self):
+        # Triangle + isolated vertex + edge.
+        g = from_edges(6, [(0, 1), (1, 2), (0, 2), (4, 5)])
+        assert count_maximal_cliques(g) == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        g = random_graph(16, 0.35, seed=seed + 300)
+        consumer = CliqueConsumer()
+        collected = set()
+        consumer._on_clique = lambda c: collected.add(tuple(c)) or True
+        enumerate_cliques_degeneracy(g, consumer)
+        expected = nx_maximal_cliques(g)
+        # Isolated vertices: networkx also yields singletons via find_cliques.
+        assert collected == expected
+
+    @given(st.integers(2, 14), st.floats(0.1, 0.9), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_counts_match_networkx(self, n, p, seed):
+        g = random_graph(n, p, seed=seed)
+        assert count_maximal_cliques(g) == len(nx_maximal_cliques(g))
+
+
+class TestConsumerProtocol:
+    def test_early_stop(self):
+        g = random_graph(20, 0.4, seed=1)
+        seen = []
+
+        def sink(clique):
+            seen.append(clique)
+            return len(seen) < 3  # stop after three cliques
+
+        enumerate_cliques_degeneracy(g, CliqueConsumer(sink))
+        assert len(seen) == 3
+        assert len(seen) < count_maximal_cliques(g)
+
+    def test_largest_tracked(self):
+        g = random_graph(15, 0.5, seed=2)
+        c = enumerate_cliques_degeneracy(g)
+        assert len(c.largest) == len(brute_force_max_clique(g))
+
+
+class TestOracleAndBudget:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_max_clique_via_mce(self, seed):
+        g = random_graph(14, 0.5, seed=seed + 40)
+        assert len(max_clique_via_mce(g)) == len(brute_force_max_clique(g))
+        assert g.is_clique(max_clique_via_mce(g))
+
+    def test_budget(self):
+        g = random_graph(30, 0.6, seed=3)
+        counters = Counters()
+        budget = WorkBudget(max_work=10, counters=counters)
+        with pytest.raises(BudgetExceeded):
+            count_maximal_cliques(g, counters=counters, budget=budget)
+
+    def test_counters_accumulate(self):
+        g = random_graph(15, 0.4, seed=4)
+        c = Counters()
+        count_maximal_cliques(g, counters=c)
+        assert c.branch_nodes > 0
+        assert c.elements_scanned > 0

@@ -1,0 +1,74 @@
+"""Tests for the post-solve analysis module."""
+
+import json
+
+import pytest
+
+from repro import lazymc
+from repro.analysis import (
+    format_report, incumbent_growth, to_dict, work_avoidance_report,
+)
+from repro.graph.generators import planted_clique, with_periphery
+from tests.conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def solved():
+    core, _ = planted_clique(300, 0.02, 10, seed=5)
+    graph = with_periphery(core, 900, seed=6)
+    return graph, lazymc(graph)
+
+
+class TestWorkAvoidance:
+    def test_fractions_bounded(self, solved):
+        graph, result = solved
+        war = work_avoidance_report(graph, result)
+        assert 0.0 <= war.built_fraction <= 1.0
+        assert 0.0 <= war.searched_fraction <= 1.0
+        assert war.must_vertex_fraction <= war.may_vertex_fraction
+
+    def test_laziness_visible(self, solved):
+        """On a periphery-dominated instance almost nothing is built."""
+        graph, result = solved
+        war = work_avoidance_report(graph, result)
+        assert war.built_fraction < 0.2
+        assert war.omega == 10
+
+
+class TestIncumbentGrowth:
+    def test_strictly_increasing(self, solved):
+        _, result = solved
+        growth = incumbent_growth(result)
+        sizes = [s for _, s in growth]
+        assert sizes == sorted(set(sizes))
+        assert sizes[-1] == result.omega
+
+    def test_times_nondecreasing(self, solved):
+        _, result = solved
+        times = [t for t, _ in incumbent_growth(result)]
+        assert times == sorted(times)
+
+
+class TestFormatting:
+    def test_format_report_contains_key_lines(self, solved):
+        graph, result = solved
+        text = format_report(graph, result)
+        assert "omega = 10" in text
+        assert "zone of interest" in text
+        assert "neighborhood representations built" in text
+
+    def test_to_dict_json_serializable(self, solved):
+        graph, result = solved
+        record = to_dict(graph, result)
+        encoded = json.dumps(record)
+        decoded = json.loads(encoded)
+        assert decoded["omega"] == 10
+        assert decoded["funnel"]["considered"] >= decoded["funnel"]["searched"]
+        assert set(decoded["phases_seconds"]) == set(decoded["phases_work"])
+
+    def test_timed_out_marker(self):
+        from repro import LazyMCConfig
+
+        g = random_graph(50, 0.5, seed=9)
+        r = lazymc(g, LazyMCConfig(max_work=100))
+        assert "[TIMED OUT]" in format_report(g, r)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, build_parser
+
+
+class TestSolve:
+    def test_solve_dataset(self, capsys):
+        assert main(["solve", "CAroad"]) == 0
+        out = capsys.readouterr().out
+        assert "omega      = 4" in out
+
+    def test_solve_baseline_algo(self, capsys):
+        assert main(["solve", "CAroad", "--algo", "mcbrb"]) == 0
+        out = capsys.readouterr().out
+        assert "omega  = 4" in out
+
+    def test_solve_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n0 2\n")
+        assert main(["solve", str(path)]) == 0
+        assert "omega      = 3" in capsys.readouterr().out
+
+    def test_solve_dimacs_file(self, tmp_path, capsys):
+        path = tmp_path / "g.col"
+        path.write_text("p edge 3 3\ne 1 2\ne 2 3\ne 1 3\n")
+        assert main(["solve", str(path)]) == 0
+        assert "omega      = 3" in capsys.readouterr().out
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "definitely-not-a-dataset"])
+
+
+class TestOtherCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "CAroad" in out
+        assert "human-2" in out
+        assert len(out.strip().split("\n")) == 28
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "CAroad"]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy = 3" in out
+        assert "must:" in out
+
+    def test_bench_single_artifact(self, capsys):
+        assert main(["bench", "table3", "--datasets", "CAroad",
+                     "--repeats", "1", "--timeout", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_bench_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "table99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDatasetFlags:
+    def test_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Exporting all 28 graphs is slow; patch names to a subset.
+        import repro.cli as cli_mod
+
+        orig = cli_mod.names
+        cli_mod.names = lambda: ["CAroad"]
+        try:
+            assert main(["datasets", "--export", str(tmp_path)]) == 0
+        finally:
+            cli_mod.names = orig
+        assert (tmp_path / "CAroad.txt").exists()
+        from repro.graph.io import read_edge_list
+        from repro.datasets import load
+
+        assert read_edge_list(tmp_path / "CAroad.txt") == load("CAroad")
+
+
+class TestRegressCommand:
+    def test_clean_comparison_exit_zero(self, tmp_path, capsys):
+        from repro.bench.export import export_artifact
+        from repro.bench.harness import BenchConfig
+        from repro.cli import main
+
+        cfg = BenchConfig(datasets=("CAroad",), repeats=1, timeout_seconds=20.0)
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        export_artifact("fig1", a, cfg)
+        export_artifact("fig1", b, cfg)
+        assert main(["regress", str(a), str(b)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_drift_exit_one(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.export import export_artifact
+        from repro.bench.harness import BenchConfig
+        from repro.cli import main
+
+        cfg = BenchConfig(datasets=("CAroad",), repeats=1, timeout_seconds=20.0)
+        export_artifact("fig1", tmp_path, cfg)
+        rec = json.loads((tmp_path / "fig1.json").read_text())
+        rec["rows"][0]["gap"] = 99
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(rec))
+        assert main(["regress", str(tmp_path / "fig1.json"), str(cand)]) == 1

@@ -1,0 +1,102 @@
+"""Tests for counters, phase timers and work budgets."""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.instrument import Counters, PhaseTimer, PhaseTimers, WorkBudget
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = Counters()
+        assert c.work == 0
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_merge(self):
+        a = Counters(elements_scanned=5, intersections=2)
+        b = Counters(elements_scanned=3, branch_nodes=7)
+        a.merge(b)
+        assert a.elements_scanned == 8
+        assert a.intersections == 2
+        assert a.branch_nodes == 7
+
+    def test_copy_independent(self):
+        a = Counters(elements_scanned=1)
+        b = a.copy()
+        b.elements_scanned = 99
+        assert a.elements_scanned == 1
+
+    def test_work_definition(self):
+        c = Counters(elements_scanned=10, branch_nodes=5, hash_inserts=2,
+                     intersections=100)  # intersections don't count as work
+        assert c.work == 17
+
+    def test_repr_compact(self):
+        c = Counters(elements_scanned=3)
+        assert "elements_scanned=3" in repr(c)
+        assert "branch_nodes" not in repr(c)
+
+
+class TestPhaseTimers:
+    def test_add_and_total(self):
+        t = PhaseTimers()
+        t.add("a", 1.0, 10)
+        t.add("b", 3.0, 30)
+        t.add("a", 1.0, 5)
+        assert t.total_seconds() == pytest.approx(5.0)
+        assert t.seconds["a"] == pytest.approx(2.0)
+        assert t.work["a"] == 15
+
+    def test_relative(self):
+        t = PhaseTimers()
+        t.add("a", 1.0)
+        t.add("b", 3.0)
+        rel = t.relative()
+        assert rel["a"] == pytest.approx(0.25)
+        assert rel["b"] == pytest.approx(0.75)
+
+    def test_relative_empty(self):
+        assert PhaseTimers().relative() == {}
+
+    def test_phase_timer_context(self):
+        timers = PhaseTimers()
+        counters = Counters()
+        with PhaseTimer(timers, "phase", counters):
+            counters.elements_scanned += 42
+            time.sleep(0.01)
+        assert timers.work["phase"] == 42
+        assert timers.seconds["phase"] >= 0.01
+
+    def test_phase_timer_without_counters(self):
+        timers = PhaseTimers()
+        with PhaseTimer(timers, "p"):
+            pass
+        assert timers.work["p"] == 0
+
+
+class TestWorkBudget:
+    def test_work_limit(self):
+        c = Counters()
+        b = WorkBudget(max_work=10, counters=c)
+        b.check()  # under budget: fine
+        c.elements_scanned = 11
+        with pytest.raises(BudgetExceeded):
+            b.check()
+
+    def test_unlimited(self):
+        b = WorkBudget.unlimited()
+        for _ in range(1000):
+            b.check()
+
+    def test_wall_clock_limit(self):
+        b = WorkBudget(max_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceeded):
+            for _ in range(100000):
+                b.check()
+
+    def test_no_counters_means_no_work_check(self):
+        b = WorkBudget(max_work=1)  # no counters attached
+        b.check()

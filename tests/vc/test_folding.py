@@ -1,0 +1,100 @@
+"""Tests for the degree-2 folding extension (beyond the paper's rules)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import from_edges
+from repro.graph.subgraph import induced_adjacency_sets
+from repro.vc import decide_kvc, kernelize
+from repro.vc.kernelization import KernelResult
+from tests.conftest import random_graph
+
+
+def adj_of(graph):
+    return induced_adjacency_sets(graph, np.arange(graph.n))
+
+
+def is_cover(adj, cover):
+    cs = set(cover)
+    return all(v in cs or u in cs for v in range(len(adj)) for u in adj[v])
+
+
+def brute_min_vc(adj) -> int:
+    n = len(adj)
+    for k in range(n + 1):
+        for subset in itertools.combinations(range(n), k):
+            if is_cover(adj, subset):
+                return k
+    return n
+
+
+class TestFoldRule:
+    def test_path3_folds_to_single_vertex(self):
+        # Path u - v - w: fold merges all three; VC = 1 (v itself).
+        adj = adj_of(from_edges(3, [(0, 1), (1, 2)]))
+        # Degree-1 rule would fire first on endpoints; build a degree-2
+        # center instead: square with one diagonal missing gives pure
+        # degree-2 vertices, but the pendant rule is what fires on paths.
+        # Use C4: every vertex degree 2, no triangles -> folding applies.
+        adj = adj_of(from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]))
+        kr = kernelize(adj, 2, fold_degree2=True)
+        assert kr.feasible
+        assert len(kr.folds) >= 1
+
+    def test_unfold_reconstruction_identity(self):
+        kr = KernelResult(feasible=True, folds=[(1, 0, 2)])
+        # Folded vertex in cover -> both endpoints.
+        assert kr.unfold([1]) == [0, 2]
+        # Folded vertex not in cover -> center joins.
+        assert kr.unfold([]) == [1]
+
+    def test_chained_unfold(self):
+        # f1 folds (1, 0, 2); f2 folds (3, 1, 4) using f1's center as an
+        # endpoint.  Reverse-order unfolding must resolve both.
+        kr = KernelResult(feasible=True, folds=[(1, 0, 2), (3, 1, 4)])
+        # residual cover contains 3 -> {1, 4} -> 1 expands to {0, 2}.
+        assert kr.unfold([3]) == [0, 2, 4]
+        # residual cover empty -> center 3 joins; 1 not in cover -> 1 joins.
+        assert kr.unfold([]) == [1, 3]
+
+
+class TestDecideKVCWithFolding:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        g = random_graph(11, 0.3, seed=seed + 900)
+        adj = adj_of(g)
+        opt = brute_min_vc(adj)
+        for k in range(g.n + 1):
+            cover = decide_kvc(adj, k, fold_degree2=True)
+            if k >= opt:
+                assert cover is not None, (seed, k, opt)
+                assert len(cover) <= k
+                assert is_cover(adj, cover), (seed, k)
+            else:
+                assert cover is None, (seed, k, opt)
+
+    @given(st.integers(3, 12), st.floats(0.1, 0.6), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_with_unfolded_solver(self, n, p, seed):
+        g = random_graph(n, p, seed=seed)
+        adj = adj_of(g)
+        for k in (n // 3, n // 2, n):
+            plain = decide_kvc(adj, k)
+            folded = decide_kvc(adj, k, fold_degree2=True)
+            assert (plain is None) == (folded is None)
+            if folded is not None:
+                assert is_cover(adj, folded)
+                assert len(folded) <= k
+
+    def test_cycles_covered_correctly(self):
+        for c in (4, 5, 6, 7):
+            g = from_edges(c, [(i, (i + 1) % c) for i in range(c)])
+            adj = adj_of(g)
+            opt = (c + 1) // 2
+            cover = decide_kvc(adj, opt, fold_degree2=True)
+            assert cover is not None
+            assert is_cover(adj, cover)
+            assert decide_kvc(adj, opt - 1, fold_degree2=True) is None

@@ -1,0 +1,202 @@
+"""Tests for kernelization, path/cycle VC, branch-and-bound k-VC, and the
+clique-via-VC reduction."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import from_edges, complete_graph
+from repro.graph.subgraph import induced_adjacency_sets
+from repro.instrument import Counters
+from repro.vc import (
+    kernelize, vc_paths_and_cycles, min_vc_size_paths_cycles,
+    decide_kvc, minimum_vertex_cover, max_clique_via_vc, clique_exists_via_vc,
+)
+from tests.conftest import brute_force_max_clique, random_graph
+
+
+def adj_of(graph):
+    return induced_adjacency_sets(graph, np.arange(graph.n))
+
+
+def is_cover(adj, cover):
+    cs = set(cover)
+    return all(v in cs or u in cs for v in range(len(adj)) for u in adj[v])
+
+
+def brute_min_vc(adj) -> int:
+    n = len(adj)
+    for k in range(n + 1):
+        for subset in itertools.combinations(range(n), k):
+            if is_cover(adj, subset):
+                return k
+    return n
+
+
+class TestKernelization:
+    def test_isolated_vertices_ignored(self):
+        kr = kernelize([set(), set(), set()], 0)
+        assert kr.feasible
+        assert kr.forced == []
+
+    def test_pendant_rule(self):
+        # Path 0-1: pendant rule covers with the neighbor.
+        adj = adj_of(from_edges(2, [(0, 1)]))
+        kr = kernelize(adj, 1)
+        assert kr.feasible
+        assert len(kr.forced) == 1
+        assert is_cover(adj, kr.forced)
+
+    def test_buss_rule(self):
+        # Star center has degree 5 > k=1, must be forced.
+        adj = adj_of(from_edges(6, [(0, i) for i in range(1, 6)]))
+        kr = kernelize(adj, 1)
+        assert kr.feasible
+        assert 0 in kr.forced
+        assert is_cover(adj, kr.forced)
+
+    def test_triangle_rule(self):
+        adj = adj_of(from_edges(3, [(0, 1), (1, 2), (0, 2)]))
+        kr = kernelize(adj, 2)
+        assert kr.feasible
+        assert len(set(kr.forced)) == 2
+        assert is_cover(adj, kr.forced)
+
+    def test_infeasible_negative_budget(self):
+        adj = adj_of(complete_graph(5))
+        assert not kernelize(adj, 0).feasible
+
+    def test_buss_size_bound_detects_infeasible(self):
+        # Large matching: min VC = 20 but k = 3; kernel keeps degree-1 rule
+        # firing, so feasibility fails via budget.
+        edges = [(2 * i, 2 * i + 1) for i in range(20)]
+        adj = adj_of(from_edges(40, edges))
+        assert not kernelize(adj, 3).feasible
+
+    def test_input_not_mutated(self):
+        adj = adj_of(from_edges(3, [(0, 1), (1, 2)]))
+        before = [set(s) for s in adj]
+        kernelize(adj, 2)
+        assert adj == before
+
+
+class TestPathsCycles:
+    def test_path_sizes(self):
+        for p in range(2, 9):
+            adj = adj_of(from_edges(p, [(i, i + 1) for i in range(p - 1)]))
+            assert min_vc_size_paths_cycles(adj) == p // 2
+            cover = vc_paths_and_cycles(adj)
+            assert is_cover(adj, cover)
+            assert len(cover) == p // 2
+
+    def test_cycle_sizes(self):
+        for c in range(3, 10):
+            adj = adj_of(from_edges(c, [(i, (i + 1) % c) for i in range(c)]))
+            assert min_vc_size_paths_cycles(adj) == (c + 1) // 2
+            cover = vc_paths_and_cycles(adj)
+            assert is_cover(adj, cover)
+            assert len(cover) == (c + 1) // 2
+
+    def test_mixed_components(self):
+        # Path of 3 (vc 1) + cycle of 5 (vc 3) + isolated vertex.
+        edges = [(0, 1), (1, 2)] + [(3 + i, 3 + (i + 1) % 5) for i in range(5)]
+        adj = adj_of(from_edges(9, edges))
+        assert min_vc_size_paths_cycles(adj) == 4
+        assert is_cover(adj, vc_paths_and_cycles(adj))
+
+    def test_rejects_high_degree(self):
+        from repro.errors import SolverError
+
+        adj = adj_of(from_edges(4, [(0, 1), (0, 2), (0, 3)]))
+        with pytest.raises(SolverError):
+            min_vc_size_paths_cycles(adj)
+
+
+class TestDecideKVC:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g = random_graph(10, 0.4, seed=seed + 5)
+        adj = adj_of(g)
+        opt = brute_min_vc(adj)
+        for k in range(g.n + 1):
+            cover = decide_kvc(adj, k)
+            if k >= opt:
+                assert cover is not None
+                assert len(cover) <= k
+                assert is_cover(adj, cover)
+            else:
+                assert cover is None
+
+    def test_negative_k(self):
+        assert decide_kvc([{1}, {0}], -1) is None
+
+    def test_counts_kernel_reductions(self):
+        c = Counters()
+        adj = adj_of(from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+        decide_kvc(adj, 2, counters=c)
+        assert c.kernel_reductions > 0
+
+
+class TestMinimumVertexCover:
+    @given(st.integers(2, 10), st.floats(0.1, 0.9), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_optimal(self, n, p, seed):
+        g = random_graph(n, p, seed=seed)
+        adj = adj_of(g)
+        cover = minimum_vertex_cover(adj)
+        assert is_cover(adj, cover)
+        assert len(cover) == brute_min_vc(adj)
+
+    def test_empty(self):
+        assert minimum_vertex_cover([]) == []
+        assert minimum_vertex_cover([set(), set()]) == []
+
+
+class TestCliqueViaVC:
+    def test_duality_on_random(self):
+        """|MVC(complement)| = n - omega (König-free sanity, §II-B)."""
+        from repro.graph.complement import complement_adjacency_sets
+
+        for seed in range(5):
+            g = random_graph(12, 0.5, seed=seed + 11)
+            adj = adj_of(g)
+            omega = len(brute_force_max_clique(g))
+            mvc = minimum_vertex_cover(complement_adjacency_sets(adj))
+            assert len(mvc) == g.n - omega
+
+    def test_exists_probe(self):
+        adj = adj_of(complete_graph(5))
+        clique = clique_exists_via_vc(adj, 5)
+        assert clique is not None and len(clique) >= 5
+        assert clique_exists_via_vc(adj, 6) is None
+        assert clique_exists_via_vc(adj, 0) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_clique_matches_oracle(self, seed):
+        g = random_graph(13, 0.6, seed=seed * 7 + 2)
+        adj = adj_of(g)
+        omega = len(brute_force_max_clique(g))
+        clique = max_clique_via_vc(adj)
+        assert clique is not None
+        assert len(clique) == omega
+        vs = sorted(clique)
+        assert all(vs[j] in adj[vs[i]]
+                   for i in range(len(vs)) for j in range(i + 1, len(vs)))
+
+    def test_lower_bound_refutation(self):
+        g = random_graph(12, 0.5, seed=3)
+        adj = adj_of(g)
+        omega = len(brute_force_max_clique(g))
+        assert max_clique_via_vc(adj, lower_bound=omega) is None
+        found = max_clique_via_vc(adj, lower_bound=omega - 1)
+        assert found is not None and len(found) == omega
+
+    def test_upper_bound_respected(self):
+        adj = adj_of(complete_graph(6))
+        clique = max_clique_via_vc(adj, lower_bound=2, upper_bound=4)
+        # The probe may overshoot the cap only via a smaller-than-k cover;
+        # result must still be a clique larger than the lower bound.
+        assert clique is not None
+        assert len(clique) >= 3
