@@ -23,11 +23,15 @@ from .errors import (
     DatasetError,
     GraphConstructionError,
     GraphFormatError,
+    GraphLoadError,
+    ProtocolError,
+    QueueFullError,
     ReproError,
+    ServiceError,
     SolverError,
 )
 from .graph import CSRGraph, from_edges
-from .instrument import Counters, PhaseTimers, WorkBudget
+from .instrument import Counters, Histogram, MetricsRegistry, PhaseTimers, WorkBudget
 from . import analysis
 
 __version__ = "1.0.0"
@@ -41,14 +45,20 @@ __all__ = [
     "CSRGraph",
     "from_edges",
     "Counters",
+    "Histogram",
+    "MetricsRegistry",
     "PhaseTimers",
     "WorkBudget",
     "analysis",
     "ReproError",
     "GraphFormatError",
     "GraphConstructionError",
+    "GraphLoadError",
     "BudgetExceeded",
     "SolverError",
     "DatasetError",
+    "ServiceError",
+    "ProtocolError",
+    "QueueFullError",
     "__version__",
 ]

@@ -20,10 +20,12 @@ fig6      Algorithmic-choice density threshold sweep (Fig. 6)
 fig7      Simulated parallel scaling and work inflation (Fig. 7)
 extras    Filter-rounds / seeding / hash-threshold ablations (DESIGN §5)
 micro     Kernel microbenchmarks: representations + early-exit savings
+service   Query-service throughput: cache hits, degradation, batching
 ========  =====================================================
 """
 
-from . import extras, micro, fig1, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2, table3
+from . import (extras, micro, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
+               service_bench, table1, table2, table3)
 from .harness import BenchConfig, repeat_timed
 from .reporting import render_table
 
@@ -40,6 +42,7 @@ ARTIFACTS = {
     "fig7": fig7,
     "extras": extras,
     "micro": micro,
+    "service": service_bench,
 }
 
 __all__ = ["ARTIFACTS", "BenchConfig", "repeat_timed", "render_table"]

@@ -3,75 +3,162 @@
 Usage::
 
     lazymc solve <dataset-or-file> [--threads N] [--timeout S] [--algo NAME]
+                 [--json] [--verify]
     lazymc bench <artifact|all> [--datasets a,b,c] [--repeats N] [--timeout S]
     lazymc datasets
     lazymc characterize <dataset-or-file>
+    lazymc serve [--socket PATH | --port N] [--workers N] [--cache-size N]
+    lazymc query <dataset-or-file> [--socket PATH | --port N] [...]
 
 ``solve`` accepts either a registry dataset name or a path to an edge-list /
 DIMACS / METIS file (dispatch by extension: .col/.clq -> DIMACS,
-.metis/.graph -> METIS, anything else -> edge list).
+.metis/.graph -> METIS, anything else -> edge list).  ``serve`` starts the
+long-running query service (:mod:`repro.service`); ``query`` sends one
+solve request to it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 
-from . import LazyMCConfig, lazymc
-from .baselines import domega, mcbrb, pmc
-from .datasets import REGISTRY, load, names
+from .datasets import load, load_target, names
+from .errors import GraphLoadError
 from .graph.csr import CSRGraph
+
+#: Where ``serve``/``query`` meet when neither --socket nor --port is given.
+DEFAULT_SOCKET = str(Path(tempfile.gettempdir()) / "lazymc.sock")
 
 
 def _load_graph(target: str) -> CSRGraph:
-    if target in REGISTRY:
-        return load(target)
-    path = Path(target)
-    if not path.exists():
-        raise SystemExit(f"not a dataset name or file: {target!r}; "
-                         f"datasets: {', '.join(names())}")
-    from .graph.io import read_dimacs, read_edge_list, read_metis
-
-    suffix = path.suffix.lower().lstrip(".")
-    if suffix in ("col", "clq", "dimacs"):
-        return read_dimacs(path)
-    if suffix in ("metis", "graph"):
-        return read_metis(path)
-    return read_edge_list(path)
+    try:
+        return load_target(target)
+    except GraphLoadError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_solve(args) -> int:
     graph = _load_graph(args.target)
     if args.algo == "lazymc":
+        from . import LazyMCConfig, lazymc
+
         result = lazymc(graph, LazyMCConfig(threads=args.threads,
+                                            max_work=args.max_work,
                                             max_seconds=args.timeout))
         if args.json:
             import json
 
             from .analysis import to_dict
 
-            print(json.dumps(to_dict(graph, result), indent=2))
-            return 0
-        print(f"omega      = {result.omega}")
-        print(f"clique     = {result.clique}")
-        print(f"degeneracy = {result.degeneracy}  gap = {result.gap}")
-        print(f"heuristics = degree {result.heuristic_degree_size}, "
-              f"coreness {result.heuristic_coreness_size}")
-        print(f"work       = {result.counters.work}  "
-              f"wall = {result.wall_seconds:.3f}s  timed_out = {result.timed_out}")
+            record = {"algo": args.algo, **to_dict(graph, result)}
+            print(json.dumps(record, indent=2))
+        else:
+            print(f"omega      = {result.omega}")
+            print(f"clique     = {result.clique}")
+            print(f"degeneracy = {result.degeneracy}  gap = {result.gap}")
+            print(f"heuristics = degree {result.heuristic_degree_size}, "
+                  f"coreness {result.heuristic_coreness_size}")
+            print(f"work       = {result.counters.work}  "
+                  f"wall = {result.wall_seconds:.3f}s  timed_out = {result.timed_out}")
     else:
-        solver = {
-            "pmc": lambda g: pmc(g, threads=args.threads, max_seconds=args.timeout),
-            "domega-ls": lambda g: domega(g, "ls", max_seconds=args.timeout),
-            "domega-bs": lambda g: domega(g, "bs", max_seconds=args.timeout),
-            "mcbrb": lambda g: mcbrb(g, max_seconds=args.timeout),
-        }[args.algo]
-        result = solver(graph)
-        print(f"omega  = {result.omega}")
-        print(f"clique = {result.clique}")
-        print(f"wall   = {result.wall_seconds:.3f}s  timed_out = {result.timed_out}")
+        from .service.worker import solve_graph
+
+        record = solve_graph(graph, args.algo, threads=args.threads,
+                             max_work=args.max_work, max_seconds=args.timeout)
+        if args.json:
+            import json
+
+            print(json.dumps(record, indent=2))
+        else:
+            print(f"omega  = {record['omega']}")
+            print(f"clique = {record['clique']}")
+            print(f"wall   = {record['wall_seconds']:.3f}s  "
+                  f"timed_out = {record['timed_out']}")
+        result = None
+    if args.verify:
+        if result is not None:
+            valid = result.verify(graph)
+        else:
+            valid = (len(record["clique"]) == record["omega"]
+                     and graph.is_clique(record["clique"]))
+        print(f"verify = {'ok' if valid else 'FAILED'}", file=sys.stderr)
+        if not valid:
+            return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import CliqueServer, CliqueService, ServiceConfig
+
+    service = CliqueService(ServiceConfig(
+        workers=args.workers,
+        cache_capacity=args.cache_size,
+        default_max_work=args.max_work,
+        default_max_seconds=args.timeout,
+        max_queue_depth=args.max_queue,
+    ))
+    if args.port is not None:
+        server = CliqueServer(service, host=args.host, port=args.port)
+    else:
+        server = CliqueServer(service, socket_path=args.socket)
+    print(f"lazymc service listening on {server.address} "
+          f"({service.pool.mode} pool, {args.workers} workers)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        server.close()
+        service.shutdown()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    if not args.metrics and not args.shutdown and args.target is None:
+        raise SystemExit("query needs a target (or --metrics / --shutdown)")
+    kwargs = {"socket_path": args.socket} if args.port is None else \
+        {"host": args.host, "port": args.port}
+    where = args.socket if args.port is None else f"{args.host}:{args.port}"
+    try:
+        client = ServiceClient(**kwargs)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach a lazymc service at {where}: {exc} "
+            f"(is `lazymc serve` running?)") from exc
+    with client:
+        if args.metrics:
+            response = client.metrics(args.metrics)
+            if args.metrics == "prometheus":
+                print(response.get("text", ""), end="")
+            else:
+                print(json.dumps(response.get("metrics", {}), indent=2))
+            return 0 if response.get("ok") else 1
+        if args.shutdown:
+            response = client.shutdown_server()
+            print(json.dumps(response))
+            return 0 if response.get("ok") else 1
+        response = client.solve(args.target, algo=args.algo,
+                                threads=args.threads, max_work=args.max_work,
+                                max_seconds=args.timeout,
+                                use_cache=not args.no_cache)
+    if args.json:
+        print(json.dumps(response, indent=2))
+    elif response.get("ok"):
+        print(f"omega  = {response['omega']}  exact = {response['exact']}  "
+              f"cached = {response['cached']}")
+        print(f"clique = {response['clique']}")
+        print(f"wall   = {response['wall_seconds']:.3f}s  "
+              f"work = {response['work']}")
+    else:
+        print(f"error  = {response.get('error_type')}: {response.get('error')}")
+    return 0 if response.get("ok") else 1
 
 
 def _cmd_bench(args) -> int:
@@ -140,6 +227,7 @@ def _cmd_regress(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
+    from . import LazyMCConfig, lazymc
     from .graph import coreness, may_must_report
 
     graph = _load_graph(args.target)
@@ -168,9 +256,52 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lazymc", "pmc", "domega-ls", "domega-bs", "mcbrb"])
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--max-work", type=int, default=None,
+                   help="deterministic work budget (scanned-element units)")
     p.add_argument("--json", action="store_true",
-                   help="emit a machine-readable record (lazymc algo only)")
+                   help="emit a machine-readable record (any algorithm)")
+    p.add_argument("--verify", action="store_true",
+                   help="check the clique is valid; non-zero exit on failure")
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("serve", help="run the long-lived query service")
+    p.add_argument("--socket", default=DEFAULT_SOCKET,
+                   help=f"Unix socket path (default: {DEFAULT_SOCKET})")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve TCP on this port instead of the Unix socket")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = solve inline)")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="result-cache capacity (entries)")
+    p.add_argument("--max-work", type=int, default=None,
+                   help="default per-job work budget")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-job wall-clock budget (seconds)")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission queue depth before load shedding")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("query", help="query a running lazymc service")
+    p.add_argument("target", nargs="?", default=None,
+                   help="dataset name or graph file (server-side path)")
+    p.add_argument("--socket", default=DEFAULT_SOCKET)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--algo", default="lazymc",
+                   choices=["lazymc", "pmc", "domega-ls", "domega-bs", "mcbrb"])
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--max-work", type=int, default=None)
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the server-side result cache")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--metrics", nargs="?", const="json",
+                   choices=["json", "prometheus"], default=None,
+                   help="fetch service metrics instead of solving")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the server instead of solving")
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("bench", help="regenerate a table/figure")
     p.add_argument("artifact", help="table1..3, fig1..7, or all")

@@ -14,6 +14,10 @@ Paper-reported numbers (Table I characterization, Table II runtimes) are
 stored alongside so EXPERIMENTS.md can print paper-vs-measured rows.
 """
 
+from pathlib import Path
+
+from ..errors import GraphLoadError, ReproError
+from ..graph.csr import CSRGraph
 from .registry import (
     DatasetSpec,
     EXPECTED_OMEGA,
@@ -24,4 +28,36 @@ from .registry import (
     spec,
 )
 
-__all__ = ["DatasetSpec", "EXPECTED_OMEGA", "PaperNumbers", "REGISTRY", "load", "names", "spec"]
+
+def load_target(target: str | Path) -> CSRGraph:
+    """Resolve a solve target — registry dataset name or graph file path.
+
+    File format is dispatched by extension: ``.col``/``.clq``/``.dimacs``
+    -> DIMACS, ``.metis``/``.graph`` -> METIS, anything else -> edge list.
+    Raises :class:`~repro.errors.GraphLoadError` for unknown names, missing
+    files and unparseable content, so long-running callers (the query
+    service) can reject one bad request without dying; the CLI converts it
+    to ``SystemExit``.
+    """
+    name = str(target)
+    if name in REGISTRY:
+        return load(name)
+    path = Path(target)
+    if not path.exists():
+        raise GraphLoadError(f"not a dataset name or file: {name!r}; "
+                             f"datasets: {', '.join(names())}")
+    from ..graph.io import read_dimacs, read_edge_list, read_metis
+
+    suffix = path.suffix.lower().lstrip(".")
+    try:
+        if suffix in ("col", "clq", "dimacs"):
+            return read_dimacs(path)
+        if suffix in ("metis", "graph"):
+            return read_metis(path)
+        return read_edge_list(path)
+    except (ReproError, OSError, ValueError) as exc:
+        raise GraphLoadError(f"failed to load {name!r}: {exc}") from exc
+
+
+__all__ = ["DatasetSpec", "EXPECTED_OMEGA", "PaperNumbers", "REGISTRY",
+           "load", "load_target", "names", "spec"]

@@ -39,3 +39,30 @@ class SolverError(ReproError):
 
 class DatasetError(ReproError):
     """An unknown dataset name or unsatisfiable dataset parameters."""
+
+
+class GraphLoadError(ReproError):
+    """A solve target could not be resolved into a graph.
+
+    Raised by :func:`repro.datasets.load_target` for unknown dataset names,
+    missing files, and unparseable graph files.  Typed (rather than the
+    CLI's historical ``SystemExit``) so the query service can turn a bad
+    request into a structured error response instead of dying; the CLI
+    catches it and re-raises as ``SystemExit``.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for query-service failures (queue, protocol, lifecycle)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or unsupported request reached the service protocol."""
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity; the request was rejected.
+
+    Load shedding at admission is the service's outermost degradation
+    layer: a bounded queue keeps latency bounded for accepted jobs.
+    """

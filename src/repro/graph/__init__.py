@@ -14,6 +14,7 @@ from .ordering import degeneracy_order, coreness_degree_order, VertexOrder, rela
 from .complement import complement
 from .subgraph import induced_subgraph, subgraph_density, induced_adjacency_sets
 from .analysis import may_must_report, MayMustReport, clique_core_gap
+from .fingerprint import fingerprint, refine_colors
 from .metrics import GraphProfile, profile, triangle_count, global_clustering
 
 __all__ = [
@@ -39,6 +40,8 @@ __all__ = [
     "may_must_report",
     "MayMustReport",
     "clique_core_gap",
+    "fingerprint",
+    "refine_colors",
     "GraphProfile",
     "profile",
     "triangle_count",

@@ -14,6 +14,7 @@ mutable state, which keeps the simulated-parallel execution deterministic.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, fields
 
@@ -170,3 +171,167 @@ class WorkBudget:
     @staticmethod
     def unlimited() -> "WorkBudget":
         return WorkBudget()
+
+
+def _geometric_buckets(lo: float, hi: float, factor: float) -> tuple[float, ...]:
+    buckets = [lo]
+    while buckets[-1] * factor <= hi:
+        buckets.append(buckets[-1] * factor)
+    return tuple(buckets)
+
+
+#: Default latency buckets: 100 µs .. ~1000 s, one per factor of 4.  Wide
+#: enough that both a cache hit and a budget-bound exhaustive solve land in
+#: an interior bucket.
+LATENCY_BUCKETS = _geometric_buckets(1e-4, 1.1e3, 4.0)
+
+#: Default work buckets (scanned-element units): 1 .. ~10^9.
+WORK_BUCKETS = _geometric_buckets(1.0, 1.1e9, 8.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus-style cumulative export.
+
+    Serving metrics (per-job latency, per-job work) are long-tailed, so a
+    mean is useless; geometric buckets capture the shape at O(#buckets)
+    memory regardless of job count.  ``observe`` is O(#buckets) linear scan
+    — bucket counts are small (<20) and observations happen once per job,
+    not in solver inner loops.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        if not buckets or any(b <= a for a, b in zip(buckets, buckets[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        self.buckets = tuple(float(b) for b in buckets)
+        # counts[i] is the count for value <= buckets[i]; the final slot is
+        # the +Inf overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            seen += self.counts[i]
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (non-cumulative bucket counts)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": {("%g" % b): c for b, c in zip(self.buckets, self.counts)},
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for long-running components.
+
+    Solver internals keep using :class:`Counters` (explicitly threaded,
+    zero-lock, deterministic); the registry is the *service-level* layer
+    above — shared across threads, hence the lock — aggregating whole jobs:
+    queue depth, cache hit rate, latency distributions.  Exportable both as
+    JSON (:meth:`snapshot`) and as a Prometheus text page
+    (:meth:`to_prometheus`) for scraping.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        """The histogram registered under ``name``, creating it on first use.
+
+        ``buckets`` only applies at creation; later calls return the
+        existing instance unchanged.
+        """
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(buckets)
+            return self._histograms[name]
+
+    def observe(self, name: str, value: float,
+                buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        """Shorthand for ``histogram(name, buckets).observe(value)``."""
+        self.histogram(name, buckets).observe(value)
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: h.as_dict() for k, h in self._histograms.items()},
+            }
+
+    def to_prometheus(self, prefix: str = "lazymc") -> str:
+        """Prometheus text exposition of every metric.
+
+        Histogram buckets are emitted cumulatively with ``le`` labels, as
+        the format requires.
+        """
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._counters):
+                full = f"{prefix}_{name}"
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full} {self._counters[name]}")
+            for name in sorted(self._gauges):
+                full = f"{prefix}_{name}"
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {self._gauges[name]:g}")
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                full = f"{prefix}_{name}"
+                lines.append(f"# TYPE {full} histogram")
+                cumulative = 0
+                for bound, count in zip(h.buckets, h.counts):
+                    cumulative += count
+                    lines.append(f'{full}_bucket{{le="{bound:g}"}} {cumulative}')
+                lines.append(f'{full}_bucket{{le="+Inf"}} {h.count}')
+                lines.append(f"{full}_sum {h.total:g}")
+                lines.append(f"{full}_count {h.count}")
+            return "\n".join(lines) + "\n"

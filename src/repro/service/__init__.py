@@ -1,0 +1,52 @@
+"""Long-running clique-query service: batching, caching, degradation.
+
+The library's other entry points (CLI ``solve``, the bench harness) are
+one-shot: every request pays full graph load plus solve cost.  This package
+is the serving layer the ROADMAP's production north star asks for, built on
+the paper's own principle — manage *work*, not just wall time:
+
+* :class:`CliqueService` — submit/await job API with a multiprocessing
+  worker pool, per-job :class:`~repro.instrument.WorkBudget` limits,
+  cooperative cancellation of queued jobs, and a bounded admission queue;
+* :class:`~repro.service.cache.ResultCache` — LRU result cache keyed by the
+  isomorphism-invariant graph fingerprint crossed with the solver config,
+  so repeated queries are free;
+* **graceful degradation** — a job that exhausts its budget returns the
+  best incumbent with ``exact=False`` instead of an error, mirroring the
+  paper's heuristic-then-systematic structure;
+* :class:`~repro.service.server.CliqueServer` + JSON-lines protocol — a
+  local socket front end (``lazymc serve`` / ``lazymc query``) with
+  JSON and Prometheus-style metrics export.
+
+Quickstart::
+
+    from repro.service import CliqueService, JobSpec
+
+    svc = CliqueService()
+    result = svc.solve(JobSpec(target="CAroad"))
+    assert result.exact and result.omega == 4
+    svc.shutdown()
+"""
+
+from .cache import ResultCache
+from .jobs import JobHandle, JobResult, JobSpec, JobState
+from .pool import WorkerPool
+from .protocol import ServiceClient, decode_line, encode_message
+from .server import CliqueServer, handle_request
+from .service import CliqueService, ServiceConfig
+
+__all__ = [
+    "CliqueService",
+    "ServiceConfig",
+    "CliqueServer",
+    "ServiceClient",
+    "JobSpec",
+    "JobResult",
+    "JobHandle",
+    "JobState",
+    "ResultCache",
+    "WorkerPool",
+    "handle_request",
+    "encode_message",
+    "decode_line",
+]

@@ -1,0 +1,168 @@
+"""Job descriptions, results and handles for the query service.
+
+A *job* is one solve request: a target graph plus a solver configuration.
+:class:`JobSpec` is the immutable description (and the cache-key source),
+:class:`JobResult` the uniform outcome record (exact, degraded, or failed —
+never an exception across the service boundary), and :class:`JobHandle` the
+caller's future-like view of a submitted job.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import threading
+from dataclasses import dataclass, field, fields
+
+from ..graph.csr import CSRGraph
+
+#: Algorithms a job may request, mirroring ``lazymc solve --algo``.
+ALGORITHMS = ("lazymc", "pmc", "domega-ls", "domega-bs", "mcbrb")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One solve request.
+
+    Exactly one of ``target`` (dataset name or file path, resolved by
+    :func:`repro.datasets.load_target`) or ``graph`` (an in-memory
+    :class:`~repro.graph.csr.CSRGraph`) must be set.  ``max_work`` is the
+    deterministic work budget (scanned-element units); ``max_seconds`` the
+    wall-clock safety net.  ``None`` defers to the service defaults.
+    """
+
+    target: str | None = None
+    graph: CSRGraph | None = None
+    algo: str = "lazymc"
+    threads: int = 1
+    max_work: int | None = None
+    max_seconds: float | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.target is None) == (self.graph is None):
+            raise ValueError("exactly one of target/graph must be given")
+        if self.algo not in ALGORITHMS:
+            raise ValueError(f"unknown algo {self.algo!r}; "
+                             f"known: {', '.join(ALGORITHMS)}")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+
+    def config_key(self) -> str:
+        """Canonical string of every result-affecting knob except the graph.
+
+        Crossed with the graph fingerprint to form the cache key.  The
+        budgets are included because a degraded result is only reusable
+        under the *same* budget; ``threads`` because it changes the
+        simulated schedule (and hence counters) embedded in the result.
+        """
+        return json.dumps({
+            "algo": self.algo,
+            "threads": self.threads,
+            "max_work": self.max_work,
+            "max_seconds": self.max_seconds,
+        }, sort_keys=True)
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class JobResult:
+    """Uniform outcome of one job.
+
+    ``ok`` distinguishes "the solver ran" from "the request failed"
+    (unloadable graph, full queue, worker crash).  A budget-bound run is
+    *not* a failure: it has ``ok=True``, ``exact=False`` and carries the
+    best incumbent found — the service's graceful-degradation contract.
+    """
+
+    ok: bool
+    algo: str = ""
+    omega: int = 0
+    clique: list[int] = field(default_factory=list)
+    exact: bool = False
+    timed_out: bool = False
+    wall_seconds: float = 0.0
+    work: int = 0
+    n: int = 0
+    m: int = 0
+    cached: bool = False
+    fingerprint: str = ""
+    error_type: str | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record (the wire format of a solve response)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "JobResult":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+    @classmethod
+    def failure(cls, exc: BaseException) -> "JobResult":
+        """Structured failure record from an exception."""
+        return cls(ok=False, error_type=type(exc).__name__, error=str(exc))
+
+
+class JobHandle:
+    """Caller-side view of a submitted job.
+
+    Wraps a ``concurrent.futures.Future`` holding a :class:`JobResult`.
+    ``result`` never raises for job-level failures (those are ``ok=False``
+    records); it only raises ``TimeoutError`` when the caller's own wait
+    deadline expires, and :class:`~concurrent.futures.CancelledError` if
+    the job was cancelled while queued.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, spec: JobSpec, future, fingerprint: str = "",
+                 canceller=None):
+        with JobHandle._counter_lock:
+            JobHandle._counter += 1
+            self.job_id = JobHandle._counter
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self._future = future
+        # Cancellation must reach the *worker* future when the visible
+        # future is a wrapper published by the service's done-callback.
+        self._canceller = canceller if canceller is not None else future.cancel
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the job finishes and return its :class:`JobResult`."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        """Whether the job has finished (any terminal state)."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Cooperatively cancel the job if it is still queued.
+
+        Running jobs are not interrupted — their budgets bound them; this
+        only withdraws work the pool has not started.  Returns whether the
+        cancellation took effect.
+        """
+        return self._canceller()
+
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state."""
+        if self._future.cancelled():
+            return JobState.CANCELLED
+        if self._future.done():
+            return JobState.DONE
+        if self._future.running():
+            return JobState.RUNNING
+        return JobState.QUEUED

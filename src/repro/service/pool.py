@@ -1,0 +1,103 @@
+"""Worker pool: process-backed with graceful serial fallback.
+
+Same contract philosophy as :func:`repro.parallel.pool.map_parallel` —
+results are identical whether or not real processes are available, only
+wall time differs — but future-based instead of batch-based, because the
+service needs asynchronous submission, queue-depth observation and
+cancellation of not-yet-started work.
+
+CPython processes sidestep the GIL, so one solve per process scales across
+cores; the jobs are share-nothing (graph in, result record out), the shape
+:mod:`repro.parallel.pool` calls "embarrassingly parallel outer loops".
+When multiprocessing is unavailable (restricted sandboxes, exotic
+platforms) the pool degrades to inline synchronous execution rather than
+failing — the serving layer keeps answering, just without parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable
+
+
+class WorkerPool:
+    """Future-returning executor over ``workers`` processes.
+
+    ``workers=0`` requests inline mode explicitly (used by tests and the
+    in-process convenience path: deterministic, no fork).  With
+    ``workers >= 1`` a fork-context ``ProcessPoolExecutor`` is created
+    lazily on first submit; any failure to set it up degrades to inline.
+    """
+
+    def __init__(self, workers: int = 0):
+        self.workers = max(0, int(workers))
+        self.mode = "inline" if self.workers == 0 else "process"
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, fn: Callable, *args) -> Future:
+        """Schedule ``fn(*args)``; the Future resolves to its return value.
+
+        ``fn`` and ``args`` must be picklable in process mode.  Inline mode
+        executes immediately on the calling thread and returns an
+        already-resolved Future — exceptions are captured into the Future,
+        never raised at the submit site, so both modes look identical to
+        callers.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            future: Future = Future()
+            with self._lock:
+                self._pending += 1
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - captured into the future
+                future.set_exception(exc)
+            finally:
+                with self._lock:
+                    self._pending -= 1
+            return future
+        with self._lock:
+            self._pending += 1
+        future = executor.submit(fn, *args)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self.mode == "inline":
+            return None
+        with self._lock:
+            if self._executor is None:
+                try:
+                    import multiprocessing as mp
+
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=mp.get_context("fork"))
+                except Exception:
+                    self.mode = "inline"
+                    return None
+            return self._executor
+
+    # -- observation and lifecycle ------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet finished (queued + running)."""
+        with self._lock:
+            return self._pending
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; queued-but-unstarted work is cancelled."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)

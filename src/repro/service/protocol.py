@@ -1,0 +1,160 @@
+"""JSON-lines request/response protocol and the client helper.
+
+One request per line, one response per line, UTF-8 JSON, no framing beyond
+the newline — trivially scriptable (``echo '{"op":"ping"}' | nc -U sock``)
+and language-agnostic.  Requests carry an ``op``:
+
+``solve``
+    ``{"op": "solve", "target": "CAroad", "algo": "lazymc", "threads": 1,
+    "max_work": 100000, "max_seconds": 5.0, "use_cache": true}``.
+    Tiny ad-hoc graphs may be inlined instead of named:
+    ``{"op": "solve", "edges": [[0, 1], [1, 2], [0, 2]]}``.
+``metrics``
+    Snapshot of the service metrics; ``{"format": "prometheus"}`` selects
+    the text exposition instead of JSON.
+``ping``
+    Liveness check; echoes the package version.
+``shutdown``
+    Acknowledge, then stop the server.
+
+Responses always carry ``"ok"``; protocol-level problems come back as
+``{"ok": false, "error_type": "ProtocolError", ...}`` — the server never
+drops a connection in response to a bad line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+
+from ..errors import ProtocolError
+
+#: Known operations, for early rejection with a helpful message.
+OPS = ("solve", "metrics", "ping", "shutdown")
+
+#: Keys a solve request may carry (anything else is a client bug worth
+#: flagging loudly rather than silently ignoring).
+_SOLVE_KEYS = {"op", "target", "edges", "algo", "threads",
+               "max_work", "max_seconds", "use_cache"}
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line into a dict; :class:`ProtocolError` on junk."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not UTF-8: {exc}") from exc
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def validate_request(message: dict) -> dict:
+    """Check ``op`` and per-op shape; returns ``message`` for chaining."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; known: {', '.join(OPS)}")
+    if op == "solve":
+        unknown = set(message) - _SOLVE_KEYS
+        if unknown:
+            raise ProtocolError(
+                f"unknown solve keys: {', '.join(sorted(unknown))}")
+        has_target = message.get("target") is not None
+        has_edges = message.get("edges") is not None
+        if has_target == has_edges:
+            raise ProtocolError("solve needs exactly one of target/edges")
+    return message
+
+
+def connect(socket_path: str | Path | None = None,
+            host: str = "127.0.0.1", port: int | None = None) -> socket.socket:
+    """Open a client socket: Unix-domain when a path is given, else TCP."""
+    if socket_path is not None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(socket_path))
+        return sock
+    if port is None:
+        raise ValueError("need a socket path or a port")
+    return socket.create_connection((host, port))
+
+
+class ServiceClient:
+    """Line-oriented client over one persistent connection.
+
+    Not thread-safe (one in-flight request per connection by design; open
+    more clients for concurrency — the server is one thread per
+    connection).
+    """
+
+    def __init__(self, socket_path: str | Path | None = None,
+                 host: str = "127.0.0.1", port: int | None = None,
+                 timeout: float | None = None):
+        self._sock = connect(socket_path, host, port)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, message: dict) -> dict:
+        """Send one request and block for its response."""
+        self._sock.sendall(encode_message(message))
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode_line(line)
+
+    def solve(self, target: str | None = None, *, edges=None,
+              algo: str = "lazymc", threads: int = 1,
+              max_work: int | None = None, max_seconds: float | None = None,
+              use_cache: bool = True) -> dict:
+        """Convenience wrapper building a ``solve`` request."""
+        message: dict = {"op": "solve", "algo": algo, "threads": threads,
+                         "use_cache": use_cache}
+        if target is not None:
+            message["target"] = target
+        if edges is not None:
+            message["edges"] = [[int(u), int(v)] for u, v in edges]
+        if max_work is not None:
+            message["max_work"] = max_work
+        if max_seconds is not None:
+            message["max_seconds"] = max_seconds
+        return self.request(validate_request(message))
+
+    def metrics(self, format: str = "json") -> dict:
+        """Fetch the service metrics snapshot."""
+        return self.request({"op": "metrics", "format": format})
+
+    def ping(self) -> dict:
+        """Liveness round-trip."""
+        return self.request({"op": "ping"})
+
+    def shutdown_server(self) -> dict:
+        """Ask the server to stop (acknowledged before it exits)."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""Socket front end: JSON-lines over a Unix-domain or TCP socket.
+
+Thread-per-connection (``socketserver.ThreadingMixIn``): connection
+handling is I/O-bound line shuffling — the actual solving happens in the
+service's worker pool (processes) or inline under budgets, so threads are
+the right weight here.  Request dispatch is the pure function
+:func:`handle_request`, testable without any socket.
+
+The server is deliberately local-only (Unix socket, or TCP bound to
+loopback by default): it is an application backend, not an internet-facing
+endpoint — no auth, no TLS.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from pathlib import Path
+
+from ..errors import ProtocolError, ReproError
+from .jobs import JobSpec
+from .protocol import decode_line, encode_message, validate_request
+from .service import CliqueService
+
+
+def _error(exc: BaseException) -> dict:
+    return {"ok": False, "error_type": type(exc).__name__, "error": str(exc)}
+
+
+def _spec_from_message(message: dict) -> JobSpec:
+    graph = None
+    if message.get("edges") is not None:
+        from ..graph import from_edges
+
+        edges = [(int(u), int(v)) for u, v in message["edges"]]
+        n = max((max(u, v) for u, v in edges), default=-1) + 1
+        graph = from_edges(n, edges)
+    return JobSpec(
+        target=message.get("target"),
+        graph=graph,
+        algo=message.get("algo", "lazymc"),
+        threads=int(message.get("threads", 1)),
+        max_work=message.get("max_work"),
+        max_seconds=message.get("max_seconds"),
+        use_cache=bool(message.get("use_cache", True)),
+    )
+
+
+def handle_request(service: CliqueService, message: dict) -> tuple[dict, bool]:
+    """Dispatch one decoded request; returns ``(response, stop_server)``.
+
+    Never raises: every failure becomes an ``ok=False`` response so one bad
+    request cannot take down the connection, let alone the server.
+    """
+    try:
+        validate_request(message)
+        op = message["op"]
+        if op == "ping":
+            from .. import __version__
+
+            return {"ok": True, "pong": True, "version": __version__}, False
+        if op == "metrics":
+            if message.get("format") == "prometheus":
+                return {"ok": True, "format": "prometheus",
+                        "text": service.to_prometheus()}, False
+            return {"ok": True, "metrics": service.metrics_snapshot()}, False
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}, True
+        spec = _spec_from_message(message)
+        return service.solve(spec).to_dict(), False
+    except (ProtocolError, ReproError, ValueError, TypeError) as exc:
+        return _error(exc), False
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        for line in self.rfile:
+            try:
+                message = decode_line(line)
+            except ProtocolError as exc:
+                response, stop = _error(exc), False
+            else:
+                response, stop = handle_request(self.server.service, message)
+            try:
+                self.wfile.write(encode_message(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if stop:
+                # shutdown() blocks until the accept loop exits; that loop
+                # runs in a different thread than this handler, so calling
+                # it here is safe and makes the op synchronous.
+                self.server.shutdown()
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _ThreadingUnixServer(socketserver.ThreadingMixIn,
+                           socketserver.UnixStreamServer):
+    daemon_threads = True
+
+
+class CliqueServer:
+    """A :class:`CliqueService` behind a local socket.
+
+    ``socket_path`` selects a Unix-domain socket; otherwise TCP on
+    ``host:port`` (``port=0`` lets the OS pick — read :attr:`address`).
+    """
+
+    def __init__(self, service: CliqueService,
+                 socket_path: str | Path | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        if self.socket_path is not None:
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self._server = _ThreadingUnixServer(str(self.socket_path), _Handler)
+        else:
+            self._server = _ThreadingTCPServer((host, port), _Handler)
+        self._server.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        """Human/CLI-usable address of the listening socket."""
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        """TCP port (0 for Unix-socket servers)."""
+        if self.socket_path is not None:
+            return 0
+        return int(self._server.server_address[1])
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` or a shutdown op."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> None:
+        """Serve on a background daemon thread (embedding and tests)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="lazymc-serve", daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (idempotent; safe from any thread)."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        """Release the socket (and unlink a Unix socket file)."""
+        self._server.server_close()
+        if self.socket_path is not None and self.socket_path.exists():
+            self.socket_path.unlink()
+
+    def __enter__(self) -> "CliqueServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+        self.close()

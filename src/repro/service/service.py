@@ -1,0 +1,215 @@
+"""The query service: admission, cache, dispatch, degradation, metrics.
+
+``CliqueService`` is transport-agnostic — it exposes ``submit``/``solve``
+to in-process callers and is wrapped by :mod:`repro.service.server` for
+socket clients.  One submission flows through four gates:
+
+1. **resolve** — the target becomes a graph + fingerprint (small LRU of
+   loaded graphs, since registry analogues are regenerated on every load);
+2. **cache** — fingerprint x config hit returns instantly, no worker;
+3. **admission** — a bounded queue sheds load instead of growing latency;
+4. **dispatch** — the worker pool runs the solve under its work/wall
+   budgets; budget-bound jobs come back degraded (``exact=False``), never
+   as errors.
+
+All failure modes (bad target, full queue, worker crash) are structured
+``JobResult`` records with ``ok=False`` — ``submit`` itself only raises
+for caller bugs (invalid :class:`JobSpec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..errors import GraphLoadError, QueueFullError
+from ..graph.csr import CSRGraph
+from ..graph.fingerprint import fingerprint
+from ..instrument import LATENCY_BUCKETS, WORK_BUCKETS, MetricsRegistry
+from .cache import ResultCache
+from .jobs import JobHandle, JobResult, JobSpec
+from .pool import WorkerPool
+from .worker import run_job
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs.
+
+    ``workers=0`` runs jobs inline on the submitting thread (deterministic;
+    the default for embedding and tests), ``workers>=1`` uses that many
+    processes.  The default budgets apply to jobs that do not set their
+    own; ``None`` means unbounded — production deployments should set
+    ``default_max_work`` so no request can burn unbounded effort.
+    """
+
+    workers: int = 0
+    cache_capacity: int = 128
+    graph_cache_capacity: int = 8
+    default_max_work: int | None = None
+    default_max_seconds: float | None = None
+    max_queue_depth: int = 256
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+class CliqueService:
+    """Batched, cached, budgeted clique solving behind ``submit``."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.pool = WorkerPool(self.config.workers)
+        self.results = ResultCache(self.config.cache_capacity)
+        self.graphs = ResultCache(self.config.graph_cache_capacity)
+        self.metrics = MetricsRegistry()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Admit one job; always returns a handle, never raises per-job.
+
+        Cache hits and rejected/failed admissions return already-completed
+        handles; everything else resolves when the worker finishes.
+        """
+        t0 = time.perf_counter()
+        self.metrics.inc("jobs_submitted")
+        try:
+            graph, fp = self._resolve(spec)
+        except GraphLoadError as exc:
+            self.metrics.inc("jobs_failed")
+            return self._completed(spec, JobResult.failure(exc))
+        spec = self._with_default_budgets(spec)
+        key = (fp, spec.config_key())
+
+        if spec.use_cache:
+            hit = self.results.get(key)
+            if hit is not None:
+                self.metrics.inc("cache_hits")
+                self.metrics.observe("job_wall_seconds",
+                                     time.perf_counter() - t0, LATENCY_BUCKETS)
+                return self._completed(
+                    spec, dataclasses.replace(hit, cached=True), fp)
+            self.metrics.inc("cache_misses")
+
+        if self.pool.pending >= self.config.max_queue_depth:
+            self.metrics.inc("jobs_rejected")
+            return self._completed(spec, JobResult.failure(QueueFullError(
+                f"queue depth {self.pool.pending} >= "
+                f"{self.config.max_queue_depth}")), fp)
+
+        inner = self.pool.submit(run_job, graph, spec.algo, spec.threads,
+                                 spec.max_work, spec.max_seconds)
+        outer: Future = Future()
+        inner.add_done_callback(
+            lambda f: self._finish(f, outer, spec, key, fp, t0))
+        self.metrics.set_gauge("queue_depth", self.pool.pending)
+        return JobHandle(spec, outer, fp, canceller=inner.cancel)
+
+    def solve(self, spec: JobSpec, timeout: float | None = None) -> JobResult:
+        """Submit and wait: the one-call convenience API."""
+        return self.submit(spec).result(timeout)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _with_default_budgets(self, spec: JobSpec) -> JobSpec:
+        """Apply service default budgets where the job left them unset.
+
+        Done *before* the cache key is formed: the effective budget is part
+        of the result's identity — a degraded answer is only reusable under
+        the same budget.
+        """
+        changes = {}
+        if spec.max_work is None and self.config.default_max_work is not None:
+            changes["max_work"] = self.config.default_max_work
+        if spec.max_seconds is None and self.config.default_max_seconds is not None:
+            changes["max_seconds"] = self.config.default_max_seconds
+        return dataclasses.replace(spec, **changes) if changes else spec
+
+    def _resolve(self, spec: JobSpec) -> tuple[CSRGraph, str]:
+        """Target/graph -> (graph, fingerprint), through the graph LRU."""
+        if spec.graph is not None:
+            return spec.graph, fingerprint(spec.graph)
+        entry = self.graphs.get(spec.target)
+        if entry is not None:
+            return entry
+        from ..datasets import load_target
+
+        graph = load_target(spec.target)
+        fp = fingerprint(graph)
+        self.graphs.put(spec.target, (graph, fp))
+        return graph, fp
+
+    def _finish(self, inner: Future, outer: Future, spec: JobSpec,
+                key, fp: str, t0: float) -> None:
+        """Done-callback on the worker future: account, cache, publish."""
+        if inner.cancelled():
+            self.metrics.inc("jobs_cancelled")
+            self.metrics.set_gauge("queue_depth", self.pool.pending)
+            outer.cancel()
+            return
+        exc = inner.exception()
+        if exc is not None:
+            result = JobResult.failure(exc)
+        else:
+            result = JobResult.from_dict(inner.result())
+            result.fingerprint = fp
+        if result.ok:
+            self.metrics.inc("jobs_completed")
+            if result.timed_out:
+                self.metrics.inc("jobs_degraded")
+            self.metrics.observe("job_work", result.work, WORK_BUCKETS)
+            if spec.use_cache:
+                self.results.put(key, result)
+        else:
+            self.metrics.inc("jobs_failed")
+        self.metrics.observe("job_wall_seconds",
+                             time.perf_counter() - t0, LATENCY_BUCKETS)
+        self.metrics.set_gauge("queue_depth", self.pool.pending)
+        outer.set_result(result)
+
+    def _completed(self, spec: JobSpec, result: JobResult,
+                   fp: str = "") -> JobHandle:
+        if not result.fingerprint:
+            result.fingerprint = fp
+        future: Future = Future()
+        future.set_result(result)
+        return JobHandle(spec, future, fp)
+
+    # -- observation and lifecycle ------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Registry + cache + pool state as one JSON-friendly dict."""
+        self._sync_gauges()
+        snap = self.metrics.snapshot()
+        snap["result_cache"] = self.results.info()
+        snap["graph_cache"] = self.graphs.info()
+        snap["pool"] = {"mode": self.pool.mode, "workers": self.pool.workers,
+                        "pending": self.pool.pending}
+        return snap
+
+    def to_prometheus(self) -> str:
+        """Prometheus text page covering registry and cache metrics."""
+        self._sync_gauges()
+        return self.metrics.to_prometheus()
+
+    def _sync_gauges(self) -> None:
+        info = self.results.info()
+        self.metrics.set_gauge("result_cache_size", info["size"])
+        self.metrics.set_gauge("result_cache_hit_rate", info["hit_rate"])
+        self.metrics.set_gauge("queue_depth", self.pool.pending)
+
+    def shutdown(self) -> None:
+        """Stop the worker pool; queued-but-unstarted jobs are cancelled."""
+        self.pool.shutdown()
+
+    def __enter__(self) -> "CliqueService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

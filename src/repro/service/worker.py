@@ -1,0 +1,77 @@
+"""The job body executed inside pool workers.
+
+Module-level functions only (they must be picklable by reference for the
+fork-based pool).  A worker receives a fully resolved graph — the service
+resolves targets in the front process so it can fingerprint for the cache —
+runs the requested solver under its budgets, and returns a plain dict; the
+service layer turns that into a :class:`~repro.service.jobs.JobResult`.
+
+Degradation contract: every solver in this package already converts a
+tripped :class:`~repro.instrument.WorkBudget` into a best-effort result
+with ``timed_out=True`` (the incumbent found by the heuristic phases plus
+whatever systematic search completed).  The worker maps that onto
+``exact=False`` rather than an error — the serving analogue of the paper's
+heuristic-then-systematic structure, where a partial answer is always
+available the moment the budget trips.
+"""
+
+from __future__ import annotations
+
+from ..core import LazyMCConfig, lazymc
+from ..graph.csr import CSRGraph
+
+
+def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
+                max_work: int | None = None,
+                max_seconds: float | None = None) -> dict:
+    """Run ``algo`` on ``graph`` and return a uniform record.
+
+    The record always carries ``algo``, ``omega``, ``clique``,
+    ``wall_seconds``, ``timed_out``, ``exact`` and ``work`` regardless of
+    algorithm (the CLI's ``solve --json`` shares this contract).
+    """
+    if algo == "lazymc":
+        result = lazymc(graph, LazyMCConfig(threads=threads,
+                                            max_work=max_work,
+                                            max_seconds=max_seconds))
+    else:
+        from ..baselines import domega, mcbrb, pmc
+
+        if algo == "pmc":
+            result = pmc(graph, threads=threads, max_work=max_work,
+                         max_seconds=max_seconds)
+        elif algo in ("domega-ls", "domega-bs"):
+            result = domega(graph, algo.split("-", 1)[1], max_work=max_work,
+                            max_seconds=max_seconds)
+        elif algo == "mcbrb":
+            result = mcbrb(graph, max_work=max_work, max_seconds=max_seconds)
+        else:
+            raise ValueError(f"unknown algo {algo!r}")
+    return {
+        "algo": algo,
+        "n": graph.n,
+        "m": graph.m,
+        "omega": result.omega,
+        "clique": [int(v) for v in result.clique],
+        "wall_seconds": result.wall_seconds,
+        "timed_out": result.timed_out,
+        "exact": not result.timed_out,
+        "work": result.counters.work,
+    }
+
+
+def run_job(graph: CSRGraph, algo: str, threads: int,
+            max_work: int | None, max_seconds: float | None) -> dict:
+    """Pool entry point: :func:`solve_graph` with failures as records.
+
+    Exceptions never cross the process boundary as exceptions — a crashing
+    job must not be distinguishable from a failing one by transport
+    effects, and the service must stay up either way.
+    """
+    try:
+        record = solve_graph(graph, algo, threads, max_work, max_seconds)
+        record["ok"] = True
+        return record
+    except BaseException as exc:  # noqa: BLE001 - service boundary
+        return {"ok": False, "error_type": type(exc).__name__,
+                "error": str(exc)}

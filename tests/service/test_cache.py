@@ -1,0 +1,77 @@
+"""Tests for the LRU result cache."""
+
+from repro.service.cache import ResultCache
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        info = cache.info()
+        assert info["hits"] == 2
+        assert info["misses"] == 1
+        assert info["hit_rate"] == 2 / 3
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+
+class TestLRUEviction:
+    def test_capacity_bound_evicts_oldest(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # a is now most recent
+        cache.put("c", 3)       # evicts b, not a
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, not insert
+        cache.put("c", 3)       # evicts b
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert "a" not in cache
+        assert cache.hits == 1

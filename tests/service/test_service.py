@@ -1,0 +1,256 @@
+"""Tests for the query service core: cache, degradation, pool, admission."""
+
+import time
+from concurrent.futures import CancelledError, Future
+
+import pytest
+
+from repro.datasets import load, load_target
+from repro.errors import GraphLoadError
+from repro.service import (
+    CliqueService,
+    JobHandle,
+    JobResult,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    WorkerPool,
+)
+
+
+def make_service(**overrides):
+    defaults = dict(workers=0, cache_capacity=16)
+    defaults.update(overrides)
+    return CliqueService(ServiceConfig(**defaults))
+
+
+class TestJobSpec:
+    def test_needs_exactly_one_of_target_graph(self):
+        with pytest.raises(ValueError):
+            JobSpec()
+        with pytest.raises(ValueError):
+            JobSpec(target="CAroad", graph=load("CAroad"))
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(ValueError):
+            JobSpec(target="CAroad", algo="quantum")
+
+    def test_config_key_separates_budgets(self):
+        a = JobSpec(target="CAroad", max_work=100)
+        b = JobSpec(target="CAroad", max_work=200)
+        assert a.config_key() != b.config_key()
+        assert a.config_key() == JobSpec(target="CAroad", max_work=100).config_key()
+
+
+class TestSolvePaths:
+    def test_inline_exact_solve(self):
+        with make_service() as svc:
+            result = svc.solve(JobSpec(target="CAroad"))
+            assert result.ok and result.exact
+            assert result.omega == 4
+            assert result.algo == "lazymc"
+            assert not result.cached
+            assert result.fingerprint
+
+    def test_direct_graph_submission(self):
+        with make_service() as svc:
+            result = svc.solve(JobSpec(graph=load("CAroad")))
+            assert result.ok and result.omega == 4
+
+    def test_baseline_algo(self):
+        with make_service() as svc:
+            result = svc.solve(JobSpec(target="CAroad", algo="mcbrb"))
+            assert result.ok and result.omega == 4 and result.algo == "mcbrb"
+
+    def test_bad_target_is_structured_failure(self):
+        with make_service() as svc:
+            result = svc.solve(JobSpec(target="no-such-thing"))
+            assert not result.ok
+            assert result.error_type == "GraphLoadError"
+            assert svc.metrics.counter("jobs_failed") == 1
+
+    def test_load_target_raises_typed_error_not_systemexit(self):
+        with pytest.raises(GraphLoadError):
+            load_target("no-such-thing")
+
+
+class TestCaching:
+    def test_repeat_query_served_from_cache(self):
+        with make_service() as svc:
+            first = svc.solve(JobSpec(target="CAroad"))
+            second = svc.solve(JobSpec(target="CAroad"))
+            assert not first.cached and second.cached
+            assert second.omega == first.omega
+            assert second.clique == first.clique
+            assert svc.metrics.counter("cache_hits") == 1
+            assert svc.results.hits == 1
+
+    def test_isomorphic_graphs_share_a_slot(self):
+        import numpy as np
+
+        from repro.graph.builders import from_edges
+
+        graph = load("CAroad")
+        perm = np.random.default_rng(0).permutation(graph.n)
+        relabelled = from_edges(graph.n, [(int(perm[u]), int(perm[v]))
+                                          for u, v in graph.edges()])
+        with make_service() as svc:
+            svc.solve(JobSpec(graph=graph))
+            second = svc.solve(JobSpec(graph=relabelled))
+            assert second.cached
+
+    def test_different_config_misses(self):
+        with make_service() as svc:
+            svc.solve(JobSpec(target="CAroad"))
+            other = svc.solve(JobSpec(target="CAroad", algo="mcbrb"))
+            assert not other.cached
+
+    def test_use_cache_false_bypasses(self):
+        with make_service() as svc:
+            svc.solve(JobSpec(target="CAroad", use_cache=False))
+            again = svc.solve(JobSpec(target="CAroad", use_cache=False))
+            assert not again.cached
+            assert svc.metrics.counter("cache_hits") == 0
+
+    def test_lru_eviction_in_service(self):
+        with make_service(cache_capacity=1) as svc:
+            svc.solve(JobSpec(target="CAroad"))
+            svc.solve(JobSpec(target="CAroad", algo="mcbrb"))  # evicts lazymc
+            third = svc.solve(JobSpec(target="CAroad"))
+            assert not third.cached
+            assert svc.results.evictions >= 1
+
+
+class TestDegradation:
+    def test_tiny_budget_returns_degraded_incumbent(self):
+        with make_service() as svc:
+            result = svc.solve(JobSpec(target="WormNet", max_work=200))
+            assert result.ok            # degradation is not an error
+            assert not result.exact
+            assert result.timed_out
+            assert 1 <= result.omega <= 24
+            assert len(result.clique) == result.omega
+            assert svc.metrics.counter("jobs_degraded") == 1
+
+    def test_degraded_incumbent_is_a_valid_clique(self):
+        graph = load("WormNet")
+        with make_service() as svc:
+            result = svc.solve(JobSpec(graph=graph, max_work=200))
+            assert graph.is_clique(result.clique)
+
+    def test_default_budget_applied_and_part_of_cache_key(self):
+        with make_service(default_max_work=200) as svc:
+            first = svc.solve(JobSpec(target="WormNet"))
+            assert not first.exact      # service default tripped
+            second = svc.solve(JobSpec(target="WormNet", max_work=200))
+            assert second.cached        # explicit budget == defaulted budget
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_structured_error(self):
+        with make_service(max_queue_depth=1) as svc:
+            class Busy:
+                pending = 99
+                mode = "inline"
+                workers = 0
+
+                def shutdown(self, wait=True):
+                    pass
+
+            svc.pool = Busy()
+            result = svc.solve(JobSpec(target="CAroad"))
+            assert not result.ok
+            assert result.error_type == "QueueFullError"
+            assert svc.metrics.counter("jobs_rejected") == 1
+
+
+class TestWorkerPoolAndConcurrency:
+    def test_inline_pool_captures_exceptions(self):
+        pool = WorkerPool(workers=0)
+        future = pool.submit(int, "not-a-number")
+        assert isinstance(future.exception(), ValueError)
+
+    def test_concurrent_submits_through_process_pool(self):
+        svc = CliqueService(ServiceConfig(workers=2))
+        if svc.pool.mode != "process":
+            pytest.skip("multiprocessing unavailable")
+        try:
+            specs = [JobSpec(target="CAroad", use_cache=False)
+                     for _ in range(4)]
+            handles = [svc.submit(s) for s in specs]
+            results = [h.result(timeout=120) for h in handles]
+            assert all(r.ok and r.omega == 4 for r in results)
+            assert svc.metrics.counter("jobs_completed") == 4
+        finally:
+            svc.shutdown()
+
+    def test_queued_job_cancellation(self):
+        pool = WorkerPool(workers=1)
+        if pool.mode != "process":
+            pytest.skip("multiprocessing unavailable")
+        try:
+            blocker = pool.submit(time.sleep, 1.0)
+            queued = pool.submit(time.sleep, 0.0)
+            assert queued.cancel()
+            assert queued.cancelled()
+            blocker.result(timeout=30)
+        finally:
+            pool.shutdown()
+
+    def test_handle_cancel_reaches_worker_future(self):
+        spec = JobSpec(target="CAroad")
+        inner: Future = Future()
+        handle = JobHandle(spec, Future(), canceller=inner.cancel)
+        assert handle.cancel()
+        assert inner.cancelled()
+
+    def test_handle_states(self):
+        spec = JobSpec(target="CAroad")
+        future: Future = Future()
+        handle = JobHandle(spec, future)
+        assert handle.state is JobState.QUEUED
+        future.set_result(JobResult(ok=True))
+        assert handle.state is JobState.DONE
+        assert handle.done()
+
+    def test_cancelled_handle_raises_on_result(self):
+        spec = JobSpec(target="CAroad")
+        future: Future = Future()
+        handle = JobHandle(spec, future)
+        assert handle.cancel()
+        assert handle.state is JobState.CANCELLED
+        with pytest.raises(CancelledError):
+            handle.result(timeout=1)
+
+
+class TestResultRecord:
+    def test_round_trips_through_dict(self):
+        result = JobResult(ok=True, algo="lazymc", omega=4, clique=[1, 2, 3, 4],
+                           exact=True, wall_seconds=0.1, work=123,
+                           fingerprint="ab")
+        assert JobResult.from_dict(result.to_dict()) == result
+
+    def test_from_dict_ignores_unknown_keys(self):
+        result = JobResult.from_dict({"ok": True, "omega": 3, "future_field": 1})
+        assert result.ok and result.omega == 3
+
+
+class TestMetricsExport:
+    def test_snapshot_structure(self):
+        with make_service() as svc:
+            svc.solve(JobSpec(target="CAroad"))
+            svc.solve(JobSpec(target="CAroad"))
+            snap = svc.metrics_snapshot()
+            assert snap["counters"]["jobs_submitted"] == 2
+            assert snap["counters"]["cache_hits"] == 1
+            assert snap["result_cache"]["hits"] == 1
+            assert snap["pool"]["mode"] == "inline"
+            assert snap["histograms"]["job_wall_seconds"]["count"] == 2
+
+    def test_prometheus_page(self):
+        with make_service() as svc:
+            svc.solve(JobSpec(target="CAroad"))
+            page = svc.to_prometheus()
+            assert "# TYPE lazymc_jobs_submitted counter" in page
+            assert "lazymc_jobs_submitted 1" in page
+            assert 'lazymc_job_wall_seconds_bucket{le="+Inf"} 1' in page

@@ -33,6 +33,89 @@ class TestSolve:
             main(["solve", "definitely-not-a-dataset"])
 
 
+class TestSolveFlags:
+    def test_json_for_baseline_algo(self, capsys):
+        import json
+
+        assert main(["solve", "CAroad", "--algo", "mcbrb", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["algo"] == "mcbrb"
+        assert record["omega"] == 4
+        assert len(record["clique"]) == 4
+        assert record["timed_out"] is False
+        assert record["wall_seconds"] >= 0.0
+
+    def test_json_for_lazymc_keeps_uniform_keys(self, capsys):
+        import json
+
+        assert main(["solve", "CAroad", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        for key in ("algo", "omega", "clique", "wall_seconds", "timed_out"):
+            assert key in record
+
+    def test_verify_ok_exit_zero(self, capsys):
+        assert main(["solve", "CAroad", "--verify"]) == 0
+        assert "verify = ok" in capsys.readouterr().err
+
+    def test_verify_baseline_ok(self, capsys):
+        assert main(["solve", "CAroad", "--algo", "pmc", "--verify"]) == 0
+        assert "verify = ok" in capsys.readouterr().err
+
+    def test_verify_failure_nonzero_exit(self, capsys, monkeypatch):
+        import repro.service.worker as worker_mod
+
+        def bogus(graph, algo, threads=1, max_work=None, max_seconds=None):
+            return {"algo": algo, "n": graph.n, "m": graph.m, "omega": 4,
+                    "clique": [0, 1, 2, 3], "wall_seconds": 0.0,
+                    "timed_out": False, "exact": True, "work": 0}
+
+        monkeypatch.setattr(worker_mod, "solve_graph", bogus)
+        assert main(["solve", "CAroad", "--algo", "mcbrb", "--verify"]) == 1
+        assert "verify = FAILED" in capsys.readouterr().err
+
+    def test_max_work_budget_degrades(self, capsys):
+        assert main(["solve", "WormNet", "--max-work", "200"]) == 0
+        assert "timed_out = True" in capsys.readouterr().out
+
+
+class TestServeQuery:
+    def test_round_trip_via_cli(self, tmp_path, capsys):
+        import json
+        import threading
+        import time
+
+        sock = str(tmp_path / "cli.sock")
+        thread = threading.Thread(
+            target=main, args=(["serve", "--socket", sock],), daemon=True)
+        thread.start()
+        for _ in range(100):
+            if (tmp_path / "cli.sock").exists():
+                break
+            time.sleep(0.05)
+        def json_out():
+            # The serve thread's startup banner shares the capture buffer;
+            # parse from the first brace.
+            out = capsys.readouterr().out
+            return json.loads(out[out.index("{"):])
+
+        assert main(["query", "CAroad", "--socket", sock, "--json"]) == 0
+        first = json_out()
+        assert first["omega"] == 4 and not first["cached"]
+        assert main(["query", "CAroad", "--socket", sock, "--json"]) == 0
+        assert json_out()["cached"]
+        assert main(["query", "--metrics", "--socket", sock]) == 0
+        metrics = json_out()
+        assert metrics["counters"]["cache_hits"] == 1
+        assert main(["query", "--shutdown", "--socket", sock]) == 0
+        capsys.readouterr()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_query_without_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--socket", "/tmp/definitely-absent.sock"])
+
+
 class TestOtherCommands:
     def test_datasets_listing(self, capsys):
         assert main(["datasets"]) == 0

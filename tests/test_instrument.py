@@ -100,3 +100,119 @@ class TestWorkBudget:
     def test_no_counters_means_no_work_check(self):
         b = WorkBudget(max_work=1)  # no counters attached
         b.check()
+
+
+class TestHistogram:
+    def test_observe_count_and_sum(self):
+        from repro.instrument import Histogram
+
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 555.5
+        assert h.counts == [1, 1, 1, 1]  # one per bucket + one overflow
+
+    def test_rejects_bad_buckets(self):
+        from repro.instrument import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+    def test_quantile_bounds(self):
+        from repro.instrument import Histogram
+
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(5000.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_as_dict_shape(self):
+        from repro.instrument import Histogram
+
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.5)
+        d = h.as_dict()
+        assert d["count"] == 1
+        assert d["buckets"]["2"] == 1
+        assert d["overflow"] == 0
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        from repro.instrument import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.inc("jobs")
+        reg.inc("jobs", 4)
+        reg.set_gauge("depth", 3.5)
+        assert reg.counter("jobs") == 5
+        assert reg.counter("never") == 0
+        assert reg.gauge("depth") == 3.5
+
+    def test_histogram_created_once(self):
+        from repro.instrument import MetricsRegistry
+
+        reg = MetricsRegistry()
+        h1 = reg.histogram("lat", buckets=(1.0, 2.0))
+        h2 = reg.histogram("lat", buckets=(5.0, 6.0))  # ignored: exists
+        assert h1 is h2
+        reg.observe("lat", 1.5, buckets=(9.0,))
+        assert h1.count == 1
+
+    def test_snapshot(self):
+        from repro.instrument import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_exposition(self):
+        from repro.instrument import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.inc("jobs_done", 3)
+        reg.set_gauge("queue_depth", 2)
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        page = reg.to_prometheus()
+        assert "# TYPE lazymc_jobs_done counter" in page
+        assert "lazymc_jobs_done 3" in page
+        assert "lazymc_queue_depth 2" in page
+        # Cumulative buckets: 1 at le=1, 2 at le=10, 3 at +Inf.
+        assert 'lazymc_lat_bucket{le="1"} 1' in page
+        assert 'lazymc_lat_bucket{le="10"} 2' in page
+        assert 'lazymc_lat_bucket{le="+Inf"} 3' in page
+        assert "lazymc_lat_count 3" in page
+
+    def test_thread_safety_of_inc(self):
+        import threading
+
+        from repro.instrument import MetricsRegistry
+
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 8000
