@@ -17,19 +17,25 @@ Quickstart::
     print(result.omega, result.clique)
 """
 
+from .checkpoint import Checkpointer, SearchCheckpoint, load_checkpoint, save_checkpoint
 from .core import LazyMC, LazyMCConfig, MCResult, PrepopulatePolicy, lazymc
 from .errors import (
     BudgetExceeded,
+    CheckpointError,
+    CircuitOpenError,
     DatasetError,
     GraphConstructionError,
     GraphFormatError,
     GraphLoadError,
+    InjectedFault,
     ProtocolError,
     QueueFullError,
     ReproError,
     ServiceError,
     SolverError,
+    WorkerCrashError,
 )
+from .faults import FaultPlan, FaultSpec
 from .graph import CSRGraph, from_edges
 from .instrument import Counters, Histogram, MetricsRegistry, PhaseTimers, WorkBudget
 from . import analysis
@@ -60,5 +66,15 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "QueueFullError",
+    "InjectedFault",
+    "CheckpointError",
+    "WorkerCrashError",
+    "CircuitOpenError",
+    "FaultPlan",
+    "FaultSpec",
+    "Checkpointer",
+    "SearchCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
     "__version__",
 ]

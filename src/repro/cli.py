@@ -41,6 +41,8 @@ def _load_graph(target: str) -> CSRGraph:
 
 def _cmd_solve(args) -> int:
     graph = _load_graph(args.target)
+    if getattr(args, "faults", None):
+        return _solve_with_faults(args, graph)
     if args.algo == "lazymc":
         from . import LazyMCConfig, lazymc
 
@@ -89,22 +91,70 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _solve_with_faults(args, graph: CSRGraph) -> int:
+    """``solve --faults SPEC``: one run under a seeded fault plan.
+
+    The reproduction path for service incidents: the same spec and seed
+    re-create the same crash/hang/drop, inline, without a pool.  Crashes
+    surface as structured errors (the CLI process itself survives).
+    """
+    import json
+
+    from .errors import InjectedFault
+    from .faults import FaultPlan
+    from .service.worker import JobEnv, run_job
+
+    plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    env = JobEnv(fault_plan=plan.for_job("cli", 0))
+    try:
+        record = run_job(graph, args.algo, args.threads, args.max_work,
+                         args.timeout, env)
+    except InjectedFault as exc:
+        record = {"ok": False, "error_type": "InjectedFault", "error": str(exc)}
+    if args.json:
+        print(json.dumps(record, indent=2))
+    elif record.get("ok"):
+        print(f"omega  = {record['omega']}")
+        print(f"clique = {record['clique']}")
+        print(f"wall   = {record['wall_seconds']:.3f}s  "
+              f"timed_out = {record['timed_out']}")
+    else:
+        print(f"error  = {record.get('error_type')}: {record.get('error')}")
+    if args.verify and record.get("ok"):
+        valid = (len(record["clique"]) == record["omega"]
+                 and graph.is_clique(record["clique"]))
+        print(f"verify = {'ok' if valid else 'FAILED'}", file=sys.stderr)
+        if not valid:
+            return 1
+    return 0 if record.get("ok") else 1
+
+
 def _cmd_serve(args) -> int:
+    from .faults import FaultPlan
     from .service import CliqueServer, CliqueService, ServiceConfig
 
+    plan = FaultPlan.parse(args.faults, seed=args.fault_seed) \
+        if args.faults else None
     service = CliqueService(ServiceConfig(
         workers=args.workers,
         cache_capacity=args.cache_size,
         default_max_work=args.max_work,
         default_max_seconds=args.timeout,
         max_queue_depth=args.max_queue,
+        supervise=args.supervise,
+        max_retries=args.max_retries,
+        job_deadline=args.job_deadline,
+        fault_plan=plan,
     ))
     if args.port is not None:
-        server = CliqueServer(service, host=args.host, port=args.port)
+        server = CliqueServer(service, host=args.host, port=args.port,
+                              fault_plan=plan)
     else:
-        server = CliqueServer(service, socket_path=args.socket)
+        server = CliqueServer(service, socket_path=args.socket,
+                              fault_plan=plan)
+    supervised = " supervised," if args.supervise else ""
     print(f"lazymc service listening on {server.address} "
-          f"({service.pool.mode} pool, {args.workers} workers)")
+          f"({supervised} {service.pool.mode} pool, {args.workers} workers)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -119,6 +169,7 @@ def _cmd_serve(args) -> int:
 def _cmd_query(args) -> int:
     import json
 
+    from .errors import ProtocolError
     from .service import ServiceClient
 
     if not args.metrics and not args.shutdown and args.target is None:
@@ -132,22 +183,28 @@ def _cmd_query(args) -> int:
         raise SystemExit(
             f"cannot reach a lazymc service at {where}: {exc} "
             f"(is `lazymc serve` running?)") from exc
-    with client:
-        if args.metrics:
-            response = client.metrics(args.metrics)
-            if args.metrics == "prometheus":
-                print(response.get("text", ""), end="")
-            else:
-                print(json.dumps(response.get("metrics", {}), indent=2))
-            return 0 if response.get("ok") else 1
-        if args.shutdown:
-            response = client.shutdown_server()
-            print(json.dumps(response))
-            return 0 if response.get("ok") else 1
-        response = client.solve(args.target, algo=args.algo,
-                                threads=args.threads, max_work=args.max_work,
-                                max_seconds=args.timeout,
-                                use_cache=not args.no_cache)
+    try:
+        with client:
+            if args.metrics:
+                response = client.metrics(args.metrics)
+                if args.metrics == "prometheus":
+                    print(response.get("text", ""), end="")
+                else:
+                    print(json.dumps(response.get("metrics", {}), indent=2))
+                return 0 if response.get("ok") else 1
+            if args.shutdown:
+                response = client.shutdown_server()
+                print(json.dumps(response))
+                return 0 if response.get("ok") else 1
+            response = client.solve(args.target, algo=args.algo,
+                                    threads=args.threads, max_work=args.max_work,
+                                    max_seconds=args.timeout,
+                                    use_cache=not args.no_cache)
+    except ProtocolError as exc:
+        # A dropped/torn response (e.g. the server's drop:proto fault, or
+        # a mid-request restart): a clean, retryable error — not a
+        # traceback — because the client owns the retry.
+        raise SystemExit(f"query failed: {exc} (retry the request)") from exc
     if args.json:
         print(json.dumps(response, indent=2))
     elif response.get("ok"):
@@ -262,6 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable record (any algorithm)")
     p.add_argument("--verify", action="store_true",
                    help="check the clique is valid; non-zero exit on failure")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="seeded fault-injection plan, e.g. "
+                        "'crash:worker:p=0.2; hang:solve:after_work=1e5' "
+                        "(reproduces service failures inline)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the --faults plan (default 0)")
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser("serve", help="run the long-lived query service")
@@ -280,6 +343,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-job wall-clock budget (seconds)")
     p.add_argument("--max-queue", type=int, default=256,
                    help="admission queue depth before load shedding")
+    p.add_argument("--supervise", action="store_true",
+                   help="supervised pool: replace crashed workers, kill "
+                        "hung jobs, retry with checkpoint resume")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="attempts beyond the first per job (supervised)")
+    p.add_argument("--job-deadline", type=float, default=None,
+                   help="per-job wall-clock deadline enforced by the "
+                        "watchdog (seconds, supervised)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject seeded faults into every job and the "
+                        "transport (chaos testing; see docs/robustness.md)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the --faults plan (default 0)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("query", help="query a running lazymc service")

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..errors import BudgetExceeded
 from ..graph.csr import CSRGraph
 from ..graph.kcore import coreness_degree_filtered
@@ -64,15 +65,30 @@ class LazyMC:
     def __init__(self, config: LazyMCConfig | None = None):
         self.config = config if config is not None else LazyMCConfig()
 
-    def solve(self, graph: CSRGraph) -> MCResult:
-        """Run Alg. 1 on ``graph`` and return the full result record."""
+    def solve(self, graph: CSRGraph, *,
+              checkpointer: Checkpointer | None = None,
+              resume: SearchCheckpoint | None = None,
+              fault_hook=None) -> MCResult:
+        """Run Alg. 1 on ``graph`` and return the full result record.
+
+        ``checkpointer`` snapshots systematic-search progress so a killed
+        run can be continued; ``resume`` replays such a snapshot.  The
+        cheap prefix phases (heuristics, k-core, sort, prepopulation) are
+        deterministic and re-run on resume — only the expensive systematic
+        sweep is resumed, and the work counter is fast-forwarded to the
+        checkpoint's value first so budgets and reported totals continue
+        rather than restart.  ``fault_hook`` is threaded into the
+        :class:`~repro.instrument.WorkBudget` (see :mod:`repro.faults`).
+        All three default to ``None``: the unadorned path is unchanged.
+        """
         cfg = self.config
         counters = Counters()
         timers = PhaseTimers()
         funnel = FilterFunnel()
         incumbent = Incumbent()
         scheduler = SimulatedScheduler(cfg.threads, counters)
-        budget = WorkBudget(cfg.max_work, cfg.max_seconds, counters)
+        budget = WorkBudget(cfg.max_work, cfg.max_seconds, counters,
+                            fault_hook=fault_hook)
         t0 = time.perf_counter()
 
         if graph.n == 0:
@@ -127,8 +143,18 @@ class LazyMC:
                 coreness_based_heuristic_search(lazy, incumbent, cfg, scheduler)
             w_h = incumbent.size
 
+            if resume is not None and resume.work > counters.work:
+                # Fast-forward to the checkpoint's work so the resumed
+                # run's totals (and any work budget) continue where the
+                # killed run stopped instead of re-counting from the
+                # prefix; the crash then costs at most one checkpoint
+                # interval plus the (cheap, deterministic) prefix phases.
+                counters.elements_scanned += resume.work - counters.work
+
             with PhaseTimer(timers, "systematic", counters):
-                systematic_search(lazy, incumbent, cfg, scheduler, funnel, budget)
+                systematic_search(lazy, incumbent, cfg, scheduler, funnel,
+                                  budget, checkpointer=checkpointer,
+                                  resume=resume)
         except BudgetExceeded:
             timed_out = True
 
@@ -156,10 +182,15 @@ class LazyMC:
         )
 
 
-def lazymc(graph: CSRGraph, config: LazyMCConfig | None = None) -> MCResult:
+def lazymc(graph: CSRGraph, config: LazyMCConfig | None = None, *,
+           checkpointer: Checkpointer | None = None,
+           resume: SearchCheckpoint | None = None,
+           fault_hook=None) -> MCResult:
     """Solve the maximum clique problem on ``graph`` with LazyMC.
 
     Exact (unless a budget is configured and trips, in which case
-    ``result.timed_out`` is set and the incumbent is best-effort).
+    ``result.timed_out`` is set and the incumbent is best-effort).  See
+    :meth:`LazyMC.solve` for the checkpoint/resume and fault-hook knobs.
     """
-    return LazyMC(config).solve(graph)
+    return LazyMC(config).solve(graph, checkpointer=checkpointer,
+                                resume=resume, fault_hook=fault_hook)

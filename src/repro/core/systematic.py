@@ -17,6 +17,7 @@ every eligible vertex.  Two passes:
 
 from __future__ import annotations
 
+from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
 from ..parallel.incumbent import Incumbent, IncumbentView
 from ..parallel.scheduler import SimulatedScheduler
@@ -27,8 +28,21 @@ from .lazygraph import LazyGraph
 
 def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
                       config: LazyMCConfig, scheduler: SimulatedScheduler,
-                      funnel: FilterFunnel, budget: WorkBudget | None = None) -> None:
-    """Run Alg. 7 to completion (or until the budget trips)."""
+                      funnel: FilterFunnel, budget: WorkBudget | None = None,
+                      checkpointer: Checkpointer | None = None,
+                      resume: SearchCheckpoint | None = None) -> None:
+    """Run Alg. 7 to completion (or until the budget trips).
+
+    With a ``checkpointer``, progress is snapshotted after the seeding
+    pass and after every swept level: the checkpoint's ``cursor`` is the
+    next level to sweep (levels descend), its clique the incumbent in
+    *original* graph ids.  A ``resume`` checkpoint replays that state —
+    the incumbent is re-offered, the seeding pass skipped if already done,
+    and the sweep starts at ``resume.cursor`` — valid because the level
+    structure is a deterministic function of the (graph, config) pair, so
+    an identically prepared run partitions roots identically.  Both
+    default to ``None``, leaving the original path byte-for-byte intact.
+    """
     core = lazy.core
     n = lazy.n
     if n == 0:
@@ -54,20 +68,57 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
         if core[v] >= view.size:
             neighbor_search(lazy, v, view, config, counters, funnel, budget)
 
-    # Pass 1 (lines 2-5): seed one vertex per level, ascending from |C*|.
-    if config.seed_per_level:
-        seeds = [first_at_level[k]
-                 for k in range(max(incumbent.size, 1), degeneracy + 2)
-                 if k in first_at_level]
-        if seeds:
-            scheduler.parfor(seeds, task, incumbent)
+    seed_done = False
+    start_level = degeneracy
+    if resume is not None:
+        if resume.clique:
+            incumbent.offer(resume.clique)
+        seed_done = resume.seed_done
+        if resume.complete:
+            return
+        if resume.cursor is not None:
+            start_level = min(start_level, resume.cursor)
 
-    # Pass 2 (lines 6-11): sweep levels from high to low coreness.
-    for k in range(degeneracy, 0, -1):
-        if k < incumbent.size:
-            # Levels below the incumbent cannot host anything bigger; the
-            # incumbent only grows, so every remaining level is skippable.
-            break
-        vertices = levels.get(k)
-        if vertices:
-            scheduler.parfor(vertices, task, incumbent)
+    def snapshot(cursor: int | None, complete: bool = False,
+                 seeded: bool = True) -> SearchCheckpoint:
+        work = budget.counters.work if budget is not None and \
+            budget.counters is not None else 0
+        return SearchCheckpoint(clique=incumbent.clique, work=work,
+                                cursor=cursor, seed_done=seeded,
+                                complete=complete)
+
+    cursor = start_level
+    try:
+        # Pass 1 (lines 2-5): seed one vertex per level, ascending from |C*|.
+        if config.seed_per_level and not seed_done:
+            seeds = [first_at_level[k]
+                     for k in range(max(incumbent.size, 1), degeneracy + 2)
+                     if k in first_at_level]
+            if seeds:
+                scheduler.parfor(seeds, task, incumbent)
+        seed_done = True
+        if checkpointer is not None:
+            checkpointer.offer(snapshot(start_level))
+
+        # Pass 2 (lines 6-11): sweep levels from high to low coreness.
+        for k in range(start_level, 0, -1):
+            if k < incumbent.size:
+                # Levels below the incumbent cannot host anything bigger; the
+                # incumbent only grows, so every remaining level is skippable.
+                break
+            cursor = k
+            vertices = levels.get(k)
+            if vertices:
+                scheduler.parfor(vertices, task, incumbent)
+            cursor = k - 1
+            if checkpointer is not None:
+                checkpointer.offer(snapshot(k - 1))
+    except BaseException:
+        # A tripped budget (or an injected fault) still leaves a resumable
+        # trail: one forced snapshot at the last safe cursor, so a retry
+        # re-sweeps at most the level that was in flight.
+        if checkpointer is not None:
+            checkpointer.offer(snapshot(cursor, seeded=seed_done), force=True)
+        raise
+    if checkpointer is not None:
+        checkpointer.offer(snapshot(None, complete=True), force=True)

@@ -52,6 +52,19 @@ class GraphLoadError(ReproError):
     """
 
 
+class InjectedFault(ReproError):
+    """A fault deliberately raised by :mod:`repro.faults`.
+
+    Distinguishable from organic failures so the supervised pool can treat
+    it as a transient, retryable condition (the whole point of injecting
+    it) while tests can assert that a specific site fired.
+    """
+
+
+class CheckpointError(ReproError):
+    """A search checkpoint could not be written or restored."""
+
+
 class ServiceError(ReproError):
     """Base class for query-service failures (queue, protocol, lifecycle)."""
 
@@ -65,4 +78,26 @@ class QueueFullError(ServiceError):
 
     Load shedding at admission is the service's outermost degradation
     layer: a bounded queue keeps latency bounded for accepted jobs.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """A job failed permanently after exhausting its retry budget.
+
+    Raised by the supervised pool once every attempt has crashed, hung
+    past its deadline, or dropped its result; carries the attempt count so
+    operators can distinguish "flaky" from "deterministically broken".
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CircuitOpenError(ServiceError):
+    """The per-algorithm circuit breaker is open; the job was not run.
+
+    After a run of consecutive permanent failures on one algorithm the
+    supervised pool fails further jobs for it fast (no worker, no retry
+    storm) until the cooldown elapses.
     """

@@ -144,13 +144,19 @@ class WorkBudget:
     at branch points, plus an optional wall-clock limit.  ``check`` is cheap
     (two comparisons) and is called from branch-and-bound node expansion and
     the outer loops of the searches, not from intersection inner loops.
+
+    ``fault_hook`` is the :mod:`repro.faults` injection point: when set it
+    is called with the current work count on every check, which is how
+    ``hang:solve:after_work=N`` faults position themselves deterministically
+    inside the search.  ``None`` (the default) costs one comparison.
     """
 
     def __init__(self, max_work: int | None = None, max_seconds: float | None = None,
-                 counters: Counters | None = None):
+                 counters: Counters | None = None, fault_hook=None):
         self.max_work = max_work
         self.max_seconds = max_seconds
         self.counters = counters
+        self.fault_hook = fault_hook
         self._deadline = (time.perf_counter() + max_seconds) if max_seconds else None
         self._calls = 0
 
@@ -158,6 +164,8 @@ class WorkBudget:
         """Raise :class:`~repro.errors.BudgetExceeded` when over budget."""
         from .errors import BudgetExceeded
 
+        if self.fault_hook is not None:
+            self.fault_hook(self.counters.work if self.counters is not None else 0)
         if self.max_work is not None and self.counters is not None:
             if self.counters.work > self.max_work:
                 raise BudgetExceeded(f"work {self.counters.work} > {self.max_work}")

@@ -16,7 +16,15 @@ the paper's own principle — manage *work*, not just wall time:
   paper's heuristic-then-systematic structure;
 * :class:`~repro.service.server.CliqueServer` + JSON-lines protocol — a
   local socket front end (``lazymc serve`` / ``lazymc query``) with
-  JSON and Prometheus-style metrics export.
+  JSON and Prometheus-style metrics export;
+* **fault tolerance** (``supervise=True``) —
+  :class:`~repro.service.supervisor.SupervisedPool` replaces crashed
+  workers, kills and retries hung jobs under a deadline watchdog, backs
+  retries off exponentially behind a per-algorithm circuit breaker, and
+  resumes retried ``lazymc`` searches from checkpoints
+  (:mod:`repro.checkpoint`); every failure path is testable on demand via
+  the seeded fault-injection plane in :mod:`repro.faults`.  See
+  ``docs/robustness.md``.
 
 Quickstart::
 
@@ -34,6 +42,8 @@ from .pool import WorkerPool
 from .protocol import ServiceClient, decode_line, encode_message
 from .server import CliqueServer, handle_request
 from .service import CliqueService, ServiceConfig
+from .supervisor import SupervisedPool
+from .worker import JobEnv
 
 __all__ = [
     "CliqueService",
@@ -44,8 +54,10 @@ __all__ = [
     "JobResult",
     "JobHandle",
     "JobState",
+    "JobEnv",
     "ResultCache",
     "WorkerPool",
+    "SupervisedPool",
     "handle_request",
     "encode_message",
     "decode_line",

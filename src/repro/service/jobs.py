@@ -81,6 +81,10 @@ class JobResult:
     (unloadable graph, full queue, worker crash).  A budget-bound run is
     *not* a failure: it has ``ok=True``, ``exact=False`` and carries the
     best incumbent found — the service's graceful-degradation contract.
+
+    ``attempts`` and ``resumed`` are the fault-tolerance trail: how many
+    times the supervised pool ran the job, and whether the final attempt
+    continued from a checkpoint a previous attempt left behind.
     """
 
     ok: bool
@@ -95,6 +99,8 @@ class JobResult:
     m: int = 0
     cached: bool = False
     fingerprint: str = ""
+    attempts: int = 1
+    resumed: bool = False
     error_type: str | None = None
     error: str | None = None
 

@@ -12,6 +12,12 @@ cores; the jobs are share-nothing (graph in, result record out), the shape
 When multiprocessing is unavailable (restricted sandboxes, exotic
 platforms) the pool degrades to inline synchronous execution rather than
 failing — the serving layer keeps answering, just without parallelism.
+
+This is the *unsupervised* pool: a crashed worker breaks the executor for
+every subsequent job and a hung solve holds its slot forever.  Deployments
+that need to survive those use :class:`repro.service.supervisor.
+SupervisedPool`, which layers crash recovery, deadlines, retries, and a
+circuit breaker on top of the same submit/pending/shutdown surface.
 """
 
 from __future__ import annotations
@@ -20,14 +26,20 @@ import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable
 
+#: Multiprocessing start methods, in preference order.  ``fork`` is the
+#: cheapest where available (Linux); ``spawn`` is the portable fallback
+#: (macOS, Windows) — only after both fail does the pool degrade to inline.
+START_METHODS = ("fork", "spawn")
+
 
 class WorkerPool:
     """Future-returning executor over ``workers`` processes.
 
     ``workers=0`` requests inline mode explicitly (used by tests and the
     in-process convenience path: deterministic, no fork).  With
-    ``workers >= 1`` a fork-context ``ProcessPoolExecutor`` is created
-    lazily on first submit; any failure to set it up degrades to inline.
+    ``workers >= 1`` a ``ProcessPoolExecutor`` is created lazily on first
+    submit, trying each start method in :data:`START_METHODS`; only when
+    every one fails does the pool degrade to inline.
     """
 
     def __init__(self, workers: int = 0):
@@ -35,7 +47,11 @@ class WorkerPool:
         self.mode = "inline" if self.workers == 0 else "process"
         self._executor: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
-        self._pending = 0
+        # Futures submitted but not yet done, across both modes: ``pending``
+        # is derived from this set so its meaning (jobs in flight) cannot
+        # drift between inline and process execution.
+        self._live: set[Future] = set()
+        self._closed = False
 
     # -- submission ---------------------------------------------------------------
 
@@ -44,45 +60,57 @@ class WorkerPool:
 
         ``fn`` and ``args`` must be picklable in process mode.  Inline mode
         executes immediately on the calling thread and returns an
-        already-resolved Future — exceptions are captured into the Future,
-        never raised at the submit site, so both modes look identical to
-        callers.
+        already-resolved Future — ordinary exceptions are captured into the
+        Future, never raised at the submit site, so both modes look
+        identical to callers; ``KeyboardInterrupt``/``SystemExit`` are
+        recorded *and* re-raised, because an interrupt must stop the
+        program, not masquerade as a job failure.
         """
+        if self._closed:
+            raise RuntimeError("pool is shut down")
         executor = self._ensure_executor()
         if executor is None:
             future: Future = Future()
             with self._lock:
-                self._pending += 1
+                self._live.add(future)
             try:
-                future.set_result(fn(*args))
-            except BaseException as exc:  # noqa: BLE001 - captured into the future
+                result = fn(*args)
+            except (KeyboardInterrupt, SystemExit) as exc:
                 future.set_exception(exc)
-            finally:
-                with self._lock:
-                    self._pending -= 1
+                self._discard(future)
+                raise
+            except Exception as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            self._discard(future)
             return future
-        with self._lock:
-            self._pending += 1
         future = executor.submit(fn, *args)
-        future.add_done_callback(self._on_done)
+        with self._lock:
+            self._live.add(future)
+        future.add_done_callback(self._discard)
         return future
 
-    def _on_done(self, _future: Future) -> None:
+    def _discard(self, future: Future) -> None:
         with self._lock:
-            self._pending -= 1
+            self._live.discard(future)
 
     def _ensure_executor(self) -> ProcessPoolExecutor | None:
         if self.mode == "inline":
             return None
         with self._lock:
             if self._executor is None:
-                try:
-                    import multiprocessing as mp
+                import multiprocessing as mp
 
-                    self._executor = ProcessPoolExecutor(
-                        max_workers=self.workers,
-                        mp_context=mp.get_context("fork"))
-                except Exception:
+                for method in START_METHODS:
+                    try:
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.workers,
+                            mp_context=mp.get_context(method))
+                        break
+                    except Exception:
+                        continue
+                else:
                     self.mode = "inline"
                     return None
             return self._executor
@@ -91,13 +119,24 @@ class WorkerPool:
 
     @property
     def pending(self) -> int:
-        """Jobs submitted but not yet finished (queued + running)."""
+        """Jobs submitted but not yet finished (queued + running).
+
+        Consistent across modes: an inline job is pending for the duration
+        of its synchronous execution (observable from other threads), a
+        process job from submit until its future completes.
+        """
         with self._lock:
-            return self._pending
+            return len(self._live)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the pool; queued-but-unstarted work is cancelled."""
+        """Stop the pool; queued-but-unstarted work is cancelled.
+
+        Idempotent — safe to call any number of times, with any ``wait``
+        — and terminal: later ``submit`` calls raise ``RuntimeError``
+        instead of silently resurrecting an executor.
+        """
         with self._lock:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=wait, cancel_futures=True)

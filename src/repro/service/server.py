@@ -81,6 +81,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 response, stop = _error(exc), False
             else:
                 response, stop = handle_request(self.server.service, message)
+            plan = getattr(self.server, "fault_plan", None)
+            if plan is not None and plan.on_proto():
+                # Injected transport drop: the response line is lost and
+                # the connection dies, exactly like a fault between server
+                # and client — the client sees "server closed the
+                # connection" and owns the retry.
+                return
             try:
                 self.wfile.write(encode_message(response))
                 self.wfile.flush()
@@ -109,12 +116,16 @@ class CliqueServer:
 
     ``socket_path`` selects a Unix-domain socket; otherwise TCP on
     ``host:port`` (``port=0`` lets the OS pick — read :attr:`address`).
+    ``fault_plan`` arms the transport's ``drop:proto`` injection site
+    (chaos testing of clients; see :mod:`repro.faults`).
     """
 
     def __init__(self, service: CliqueService,
                  socket_path: str | Path | None = None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 fault_plan=None):
         self.service = service
+        self.fault_plan = fault_plan
         self.socket_path = Path(socket_path) if socket_path is not None else None
         if self.socket_path is not None:
             if self.socket_path.exists():
@@ -123,6 +134,7 @@ class CliqueServer:
         else:
             self._server = _ThreadingTCPServer((host, port), _Handler)
         self._server.service = service
+        self._server.fault_plan = fault_plan
         self._thread: threading.Thread | None = None
 
     @property

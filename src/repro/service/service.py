@@ -20,18 +20,24 @@ for caller bugs (invalid :class:`JobSpec`).
 from __future__ import annotations
 
 import dataclasses
+import os
+import shutil
+import tempfile
+import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 
 from ..errors import GraphLoadError, QueueFullError
+from ..faults import FaultPlan
 from ..graph.csr import CSRGraph
 from ..graph.fingerprint import fingerprint
 from ..instrument import LATENCY_BUCKETS, WORK_BUCKETS, MetricsRegistry
 from .cache import ResultCache
 from .jobs import JobHandle, JobResult, JobSpec
 from .pool import WorkerPool
-from .worker import run_job
+from .supervisor import SupervisedPool
+from .worker import JobEnv, run_job
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,17 @@ class ServiceConfig:
     processes.  The default budgets apply to jobs that do not set their
     own; ``None`` means unbounded — production deployments should set
     ``default_max_work`` so no request can burn unbounded effort.
+
+    ``supervise`` swaps the bare pool for a
+    :class:`~repro.service.supervisor.SupervisedPool`: crashed workers are
+    replaced, jobs past ``job_deadline`` are killed and retried (up to
+    ``max_retries`` times, with exponential backoff from ``retry_backoff``),
+    ``circuit_threshold`` consecutive permanent failures per algorithm
+    open a ``circuit_cooldown``-second circuit, and ``lazymc`` jobs
+    checkpoint every ``checkpoint_interval_work`` work units so a retry
+    resumes instead of restarting.  ``fault_plan`` injects seeded faults
+    (:mod:`repro.faults`) into every job — for chaos tests and repro, not
+    production.
     """
 
     workers: int = 0
@@ -51,12 +68,26 @@ class ServiceConfig:
     default_max_work: int | None = None
     default_max_seconds: float | None = None
     max_queue_depth: int = 256
+    supervise: bool = False
+    max_retries: int = 2
+    job_deadline: float | None = None
+    retry_backoff: float = 0.05
+    circuit_threshold: int = 5
+    circuit_cooldown: float = 30.0
+    checkpoint_interval_work: int = 50_000
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.job_deadline is not None and self.job_deadline <= 0:
+            raise ValueError("job_deadline must be positive")
+        if self.checkpoint_interval_work < 0:
+            raise ValueError("checkpoint_interval_work must be >= 0")
 
 
 class CliqueService:
@@ -64,10 +95,24 @@ class CliqueService:
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config if config is not None else ServiceConfig()
-        self.pool = WorkerPool(self.config.workers)
+        self.metrics = MetricsRegistry()
+        self._checkpoint_dir: str | None = None
+        if self.config.supervise:
+            self.pool: WorkerPool | SupervisedPool = SupervisedPool(
+                self.config.workers,
+                metrics=self.metrics,
+                max_retries=self.config.max_retries,
+                job_deadline=self.config.job_deadline,
+                backoff_base=self.config.retry_backoff,
+                circuit_threshold=self.config.circuit_threshold,
+                circuit_cooldown=self.config.circuit_cooldown)
+            self._checkpoint_dir = tempfile.mkdtemp(prefix="lazymc-ckpt-")
+        else:
+            self.pool = WorkerPool(self.config.workers)
         self.results = ResultCache(self.config.cache_capacity)
         self.graphs = ResultCache(self.config.graph_cache_capacity)
-        self.metrics = MetricsRegistry()
+        self._job_counter = 0
+        self._counter_lock = threading.Lock()
 
     # -- submission ---------------------------------------------------------------
 
@@ -103,8 +148,19 @@ class CliqueService:
                 f"queue depth {self.pool.pending} >= "
                 f"{self.config.max_queue_depth}")), fp)
 
-        inner = self.pool.submit(run_job, graph, spec.algo, spec.threads,
-                                 spec.max_work, spec.max_seconds)
+        try:
+            if isinstance(self.pool, SupervisedPool):
+                inner = self.pool.submit(
+                    run_job, graph, spec.algo, spec.threads, spec.max_work,
+                    spec.max_seconds, label=spec.algo,
+                    env_factory=self._env_factory())
+            else:
+                inner = self.pool.submit(run_job, graph, spec.algo,
+                                         spec.threads, spec.max_work,
+                                         spec.max_seconds)
+        except RuntimeError as exc:  # pool already shut down
+            self.metrics.inc("jobs_failed")
+            return self._completed(spec, JobResult.failure(exc), fp)
         outer: Future = Future()
         inner.add_done_callback(
             lambda f: self._finish(f, outer, spec, key, fp, t0))
@@ -130,6 +186,28 @@ class CliqueService:
         if spec.max_seconds is None and self.config.default_max_seconds is not None:
             changes["max_seconds"] = self.config.default_max_seconds
         return dataclasses.replace(spec, **changes) if changes else spec
+
+    def _env_factory(self):
+        """Per-job factory of per-attempt :class:`JobEnv` values.
+
+        The checkpoint path is stable across a job's attempts (resume
+        depends on it); the fault plan is salted per ``(job, attempt)`` so
+        probabilistic faults hit independent draws on every retry instead
+        of deterministically re-firing.
+        """
+        with self._counter_lock:
+            self._job_counter += 1
+            token = self._job_counter
+        path = os.path.join(self._checkpoint_dir, f"job-{token}.ckpt") \
+            if self._checkpoint_dir else None
+        plan = self.config.fault_plan
+        interval = self.config.checkpoint_interval_work
+
+        def factory(attempt: int) -> JobEnv:
+            salted = plan.for_job(token, attempt) if plan else None
+            return JobEnv(fault_plan=salted, checkpoint_path=path,
+                          checkpoint_interval_work=interval, attempt=attempt)
+        return factory
 
     def _resolve(self, spec: JobSpec) -> tuple[CSRGraph, str]:
         """Target/graph -> (graph, fingerprint), through the graph LRU."""
@@ -163,6 +241,8 @@ class CliqueService:
             self.metrics.inc("jobs_completed")
             if result.timed_out:
                 self.metrics.inc("jobs_degraded")
+            if result.resumed:
+                self.metrics.inc("checkpoint_resumes")
             self.metrics.observe("job_work", result.work, WORK_BUCKETS)
             if spec.use_cache:
                 self.results.put(key, result)
@@ -207,6 +287,9 @@ class CliqueService:
     def shutdown(self) -> None:
         """Stop the worker pool; queued-but-unstarted jobs are cancelled."""
         self.pool.shutdown()
+        if self._checkpoint_dir is not None:
+            shutil.rmtree(self._checkpoint_dir, ignore_errors=True)
+            self._checkpoint_dir = None
 
     def __enter__(self) -> "CliqueService":
         return self

@@ -1,10 +1,11 @@
 """The job body executed inside pool workers.
 
 Module-level functions only (they must be picklable by reference for the
-fork-based pool).  A worker receives a fully resolved graph — the service
-resolves targets in the front process so it can fingerprint for the cache —
-runs the requested solver under its budgets, and returns a plain dict; the
-service layer turns that into a :class:`~repro.service.jobs.JobResult`.
+process-based pool).  A worker receives a fully resolved graph — the
+service resolves targets in the front process so it can fingerprint for
+the cache — runs the requested solver under its budgets, and returns a
+plain dict; the service layer turns that into a
+:class:`~repro.service.jobs.JobResult`.
 
 Degradation contract: every solver in this package already converts a
 tripped :class:`~repro.instrument.WorkBudget` into a best-effort result
@@ -13,27 +14,79 @@ whatever systematic search completed).  The worker maps that onto
 ``exact=False`` rather than an error — the serving analogue of the paper's
 heuristic-then-systematic structure, where a partial answer is always
 available the moment the budget trips.
+
+Fault tolerance: a :class:`JobEnv` (shipped per attempt by the supervised
+pool) arms the :mod:`repro.faults` plan at the three hook sites and gives
+the solve its checkpoint file.  A ``lazymc`` job with a checkpoint path
+snapshots systematic-search progress there and, on a retried attempt,
+resumes from whatever the previous attempt managed to write — so a crash
+costs one checkpoint interval, not the whole search.  Injected faults and
+interrupts (``KeyboardInterrupt``/``SystemExit``) deliberately *escape*
+``run_job``: the former so the supervisor sees a retryable transport
+failure, the latter because an interrupt must stop the program, not be
+recorded as a job failure.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
+from dataclasses import dataclass
+
+from ..checkpoint import Checkpointer, load_checkpoint, save_checkpoint
 from ..core import LazyMCConfig, lazymc
+from ..errors import InjectedFault
+from ..faults import FaultPlan
 from ..graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class JobEnv:
+    """Per-attempt execution environment shipped to the worker.
+
+    ``fault_plan`` is already salted for this ``(job, attempt)``;
+    ``checkpoint_path`` is stable across a job's attempts (that is what
+    makes resume work); ``attempt`` is 0 for the first run.
+    """
+
+    fault_plan: FaultPlan | None = None
+    checkpoint_path: str | None = None
+    checkpoint_interval_work: int = 0
+    attempt: int = 0
 
 
 def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
                 max_work: int | None = None,
-                max_seconds: float | None = None) -> dict:
+                max_seconds: float | None = None,
+                env: JobEnv | None = None) -> dict:
     """Run ``algo`` on ``graph`` and return a uniform record.
 
     The record always carries ``algo``, ``omega``, ``clique``,
     ``wall_seconds``, ``timed_out``, ``exact`` and ``work`` regardless of
-    algorithm (the CLI's ``solve --json`` shares this contract).
+    algorithm (the CLI's ``solve --json`` shares this contract), plus
+    ``resumed`` when a checkpointed attempt continued a previous one.
+    Checkpoint/resume and ``solve``-site faults are wired for ``lazymc``
+    only — the baselines manage their own budgets and stay restart-only.
     """
+    resumed = False
     if algo == "lazymc":
+        checkpointer = None
+        resume = None
+        fault_hook = None
+        if env is not None:
+            if env.checkpoint_path:
+                resume = load_checkpoint(env.checkpoint_path)
+                resumed = resume is not None
+                checkpointer = Checkpointer(
+                    _sink_to(env.checkpoint_path),
+                    interval_work=env.checkpoint_interval_work)
+            if env.fault_plan is not None and env.fault_plan.has_site("solve"):
+                fault_hook = env.fault_plan.on_budget_tick
         result = lazymc(graph, LazyMCConfig(threads=threads,
                                             max_work=max_work,
-                                            max_seconds=max_seconds))
+                                            max_seconds=max_seconds),
+                        checkpointer=checkpointer, resume=resume,
+                        fault_hook=fault_hook)
     else:
         from ..baselines import domega, mcbrb, pmc
 
@@ -57,21 +110,49 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
         "timed_out": result.timed_out,
         "exact": not result.timed_out,
         "work": result.counters.work,
+        "resumed": resumed,
     }
 
 
+def _sink_to(path: str):
+    """Module-level sink factory (closures stay inside the worker, so the
+    only thing crossing the process boundary is the path string)."""
+    def sink(checkpoint):
+        save_checkpoint(checkpoint, path)
+    return sink
+
+
 def run_job(graph: CSRGraph, algo: str, threads: int,
-            max_work: int | None, max_seconds: float | None) -> dict:
+            max_work: int | None, max_seconds: float | None,
+            env: JobEnv | None = None) -> dict:
     """Pool entry point: :func:`solve_graph` with failures as records.
 
-    Exceptions never cross the process boundary as exceptions — a crashing
-    job must not be distinguishable from a failing one by transport
-    effects, and the service must stay up either way.
+    Ordinary exceptions never cross the process boundary as exceptions —
+    a crashing job must not be distinguishable from a failing one by
+    transport effects, and the service must stay up either way.  Three
+    classes deliberately escape: :class:`~repro.errors.InjectedFault`
+    (the supervisor must see it as a retryable transport failure),
+    ``KeyboardInterrupt`` and ``SystemExit`` (an interrupt must stop the
+    program, not be recorded as a job failure).
     """
+    plan = env.fault_plan if env is not None else None
     try:
-        record = solve_graph(graph, algo, threads, max_work, max_seconds)
+        if plan is not None:
+            plan.on_worker_entry()
+        record = solve_graph(graph, algo, threads, max_work, max_seconds, env)
+        if plan is not None and plan.on_proto():
+            raise InjectedFault("injected drop: result lost in transport")
         record["ok"] = True
+        record["attempts"] = env.attempt + 1 if env is not None else 1
+        if env is not None and env.checkpoint_path:
+            # The job is done; its checkpoint must not leak into an
+            # unrelated future retry.
+            with contextlib.suppress(OSError):
+                os.unlink(env.checkpoint_path)
         return record
-    except BaseException as exc:  # noqa: BLE001 - service boundary
+    except InjectedFault:
+        raise
+    except Exception as exc:
         return {"ok": False, "error_type": type(exc).__name__,
-                "error": str(exc)}
+                "error": str(exc),
+                "attempts": env.attempt + 1 if env is not None else 1}

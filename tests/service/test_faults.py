@@ -1,0 +1,148 @@
+"""Tests for the seeded fault-injection plane (repro.faults)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.faults import DEFAULT_HANG_SECONDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecParsing:
+    def test_minimal_spec(self):
+        spec = FaultSpec.parse("crash:worker")
+        assert spec.kind == "crash" and spec.site == "worker"
+        assert spec.p == 1.0 and spec.after_work is None
+
+    def test_probability_param(self):
+        spec = FaultSpec.parse("crash:worker:p=0.2")
+        assert spec.p == 0.2
+
+    def test_after_work_accepts_scientific_notation(self):
+        spec = FaultSpec.parse("hang:solve:after_work=1e5")
+        assert spec.after_work == 100_000
+        assert spec.seconds == DEFAULT_HANG_SECONDS
+
+    def test_multiple_params(self):
+        spec = FaultSpec.parse("hang:solve:after_work=100,seconds=0.5,attempt=0")
+        assert spec.after_work == 100
+        assert spec.seconds == 0.5
+        assert spec.attempt == 0
+
+    def test_rejects_unknown_kind_site_param(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("melt:worker")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("crash:gpu")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("crash:worker:volume=11")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("crash")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("crash:worker:p=1.5")
+
+
+class TestFaultPlanParsing:
+    def test_semicolon_separated_specs(self):
+        plan = FaultPlan.parse(
+            "crash:worker:p=0.2; hang:solve:after_work=1e5; drop:proto:p=0.1")
+        assert len(plan.specs) == 3
+        assert plan.has_site("worker") and plan.has_site("solve") \
+            and plan.has_site("proto")
+
+    def test_empty_plan_is_falsy_noop(self):
+        plan = FaultPlan.parse("")
+        assert not plan
+        assert plan.fire("worker") is None
+        plan.on_worker_entry()  # must not raise
+        assert plan.on_proto() is False
+
+    def test_none_parses_to_empty(self):
+        assert not FaultPlan.parse(None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draw_sequence(self):
+        a = FaultPlan.parse("crash:worker:p=0.5", seed=42).for_job(1)
+        b = FaultPlan.parse("crash:worker:p=0.5", seed=42).for_job(1)
+        fires_a = [a.fire("worker") is not None for _ in range(50)]
+        fires_b = [b.fire("worker") is not None for _ in range(50)]
+        assert fires_a == fires_b
+        assert any(fires_a) and not all(fires_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.parse("crash:worker:p=0.5", seed=1).for_job(1)
+        b = FaultPlan.parse("crash:worker:p=0.5", seed=2).for_job(1)
+        fires_a = [a.fire("worker") is not None for _ in range(50)]
+        fires_b = [b.fire("worker") is not None for _ in range(50)]
+        assert fires_a != fires_b
+
+    def test_job_salt_gives_independent_draws(self):
+        base = FaultPlan.parse("crash:worker:p=0.5", seed=0)
+        first = [base.for_job(j).fire("worker") is not None for j in range(64)]
+        # Roughly half the jobs should crash, not all-or-nothing.
+        assert 10 < sum(first) < 54
+
+    def test_attempt_salt_redraws_on_retry(self):
+        base = FaultPlan.parse("crash:worker:p=0.5", seed=0)
+        outcomes = {base.for_job(5, attempt=a).fire("worker") is not None
+                    for a in range(12)}
+        assert outcomes == {True, False}
+
+    def test_survives_pickling(self):
+        plan = FaultPlan.parse("crash:worker:p=0.5", seed=9).for_job(3)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert [plan.fire("worker") is not None for _ in range(20)] == \
+            [clone.fire("worker") is not None for _ in range(20)]
+        assert clone.origin_pid == os.getpid()
+
+
+class TestFiringRules:
+    def test_after_work_gates_on_counter(self):
+        plan = FaultPlan.parse("hang:solve:after_work=100")
+        assert plan.fire("solve", work=99) is None
+        assert plan.fire("solve", work=100) is not None
+
+    def test_max_count_caps_firings(self):
+        plan = FaultPlan.parse("drop:proto:max_count=2")
+        assert plan.on_proto() and plan.on_proto()
+        assert plan.on_proto() is False
+
+    def test_attempt_restricts_to_one_attempt(self):
+        base = FaultPlan.parse("crash:worker:attempt=0")
+        assert base.for_job(1, attempt=0).fire("worker") is not None
+        assert base.for_job(1, attempt=1).fire("worker") is None
+
+    def test_site_isolation(self):
+        plan = FaultPlan.parse("crash:worker")
+        assert plan.fire("solve") is None and plan.fire("proto") is None
+
+
+class TestExecution:
+    def test_crash_in_origin_process_raises(self):
+        plan = FaultPlan.parse("crash:worker")
+        with pytest.raises(InjectedFault):
+            plan.on_worker_entry()
+
+    def test_hang_with_tiny_sleep_raises_after_outliving_it(self):
+        plan = FaultPlan.parse("hang:solve:after_work=0,seconds=0.01")
+        with pytest.raises(InjectedFault, match="hang"):
+            plan.on_budget_tick(1)
+
+    def test_drop_on_proto_returns_true_without_raising(self):
+        plan = FaultPlan.parse("drop:proto")
+        assert plan.on_proto() is True
+
+    def test_crash_in_child_process_hard_exits(self):
+        import multiprocessing as mp
+
+        plan = FaultPlan.parse("crash:worker")
+
+        ctx = mp.get_context("fork")
+        proc = ctx.Process(target=plan.on_worker_entry)
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 17
