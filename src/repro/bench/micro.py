@@ -1,39 +1,47 @@
-"""Kernel-level microbenchmarks: representations and early exits.
+"""Kernel-level microbenchmarks: representations, early exits, backends.
 
 Not a paper artifact, but the measurement base under Figs. 4/5: compares
 the three set representations (hopscotch hash, sorted array, bit-parallel
-bitset) and quantifies the early-exit benefit as a function of how far the
-intersection outcome is from the threshold θ.
+bitset), quantifies the early-exit benefit as a function of how far the
+intersection outcome is from the threshold θ, and races the sets vs bits
+branch-and-bound kernels on dense random subgraphs — the committed
+``BENCH_3.json`` baseline the ``perf`` CI job diffs against.
 
-All results are reported in *scanned elements* (deterministic) and wall
-nanoseconds per operation.
+All results are reported in deterministic work counters (*scanned
+elements* / *scanned words*) plus wall-clock fields.  Every wall field is
+named so :mod:`repro.bench.regress` excludes it (``wall*``/``ns_*``):
+only the deterministic counters are regression-checked.  Inputs are
+generated with the stdlib PRNG — its sequence is stable across Python and
+numpy versions, which is what makes the committed counters comparable in
+CI.
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 import numpy as np
 
 from ..instrument import Counters
-from ..intersect import HopscotchSet, intersect_size_gt_bool, intersect_size_gt_val
+from ..intersect import (BitMatrix, HopscotchSet, intersect_size_gt_bool,
+                         intersect_size_gt_val)
 from ..intersect.bitset import BitsetSet
 from ..intersect.early_exit import EarlyExitConfig, SortedArraySet
+from ..mc.bitkernel import BitMCSubgraphSolver
+from ..mc.branch_bound import MCSubgraphSolver
 from .harness import BenchConfig
 from .reporting import render_table
 
 
 def _make_pair(universe: int, size_a: int, size_b: int, overlap: float, seed: int):
-    """Two sets with a controlled intersection fraction."""
-    rng = np.random.default_rng(seed)
-    common = rng.choice(universe, size=int(min(size_a, size_b) * overlap),
-                        replace=False)
-    rest = np.setdiff1d(np.arange(universe), common)
-    rng.shuffle(rest)
-    a_extra = rest[:size_a - len(common)]
-    b_extra = rest[size_a - len(common):size_a - len(common) + size_b - len(common)]
-    a = np.sort(np.concatenate([common, a_extra]))
-    b = np.sort(np.concatenate([common, b_extra]))
+    """Two sorted arrays with a controlled intersection fraction."""
+    rng = random.Random(seed)
+    n_common = int(min(size_a, size_b) * overlap)
+    pool = rng.sample(range(universe), size_a + size_b - n_common)
+    common = pool[:n_common]
+    a = np.sort(np.array(common + pool[n_common:size_a], dtype=np.int64))
+    b = np.sort(np.array(common + pool[size_a:], dtype=np.int64))
     return a, b
 
 
@@ -100,11 +108,73 @@ def run_early_exit_benefit(n: int = 256, universe: int = 4096,
     return rows
 
 
+#: Dense G(n, p) instances for the backend race: the filter-funnel regime
+#: (small, dense) where BBMC encodings historically win.  Sized so the
+#: sets backend takes seconds per instance — long enough for stable
+#: ratios, short enough for CI.
+_KERNEL_INSTANCES = ((112, 0.8), (128, 0.75), (128, 0.8))
+
+
+def _random_dense_adj(n: int, p: float, seed: int) -> list[set]:
+    """G(n, p) as set adjacency, stdlib PRNG (cross-version stable)."""
+    rng = random.Random(seed)
+    adj: list[set] = [set() for _ in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+def run_kernel_backends(instances=_KERNEL_INSTANCES, seed: int = 7) -> list[dict]:
+    """Race the sets and bits branch-and-bound kernels on dense graphs.
+
+    Each row carries both backends' deterministic work counters (the
+    regression-checked payload) and wall-clock fields (``wall_*``,
+    machine-dependent, excluded from regression).  ``omega_sets`` and
+    ``omega_bits`` must always agree — both kernels are exact.
+    """
+    rows = []
+    for n, p in instances:
+        adj = _random_dense_adj(n, p, seed)
+
+        sets_counters = Counters()
+        t0 = time.perf_counter()
+        sets_clique = MCSubgraphSolver(counters=sets_counters).solve(adj)
+        wall_sets = time.perf_counter() - t0
+
+        mat = BitMatrix.from_sets(adj)
+        bits_counters = Counters()
+        t0 = time.perf_counter()
+        bits_clique = BitMCSubgraphSolver(counters=bits_counters).solve(mat)
+        wall_bits = time.perf_counter() - t0
+
+        rows.append({
+            "name": f"bbmc-n{n}-p{p}",
+            "n": n,
+            "p": p,
+            "omega_sets": len(sets_clique) if sets_clique else 0,
+            "omega_bits": len(bits_clique) if bits_clique else 0,
+            "work_sets": sets_counters.work,
+            "work_bits": bits_counters.work,
+            "elements_scanned_sets": sets_counters.elements_scanned,
+            "words_scanned_bits": bits_counters.words_scanned,
+            "branch_nodes_sets": sets_counters.branch_nodes,
+            "branch_nodes_bits": bits_counters.branch_nodes,
+            "wall_sets": wall_sets,
+            "wall_bits": wall_bits,
+            "wall_speedup_bits": wall_sets / wall_bits if wall_bits else 0.0,
+        })
+    return rows
+
+
 def run(config: BenchConfig | None = None) -> dict:
     """Execute the sweep and return structured rows."""
     return {
         "representations": run_representations(),
         "early_exit": run_early_exit_benefit(),
+        "kernel_backends": run_kernel_backends(),
     }
 
 
@@ -125,6 +195,15 @@ def render(results: dict) -> str:
         [[r["kernel"], f'{r["actual_over_theta"]:.2f}', r["scanned_with_exits"],
           r["scanned_without"], f'{r["saving"]:.3f}'] for r in rows],
         title="Micro — early-exit scan savings vs theta margin"))
+    rows = results.get("kernel_backends", [])
+    if rows:
+        parts.append(render_table(
+            ["instance", "omega", "work sets", "work bits", "wall sets (s)",
+             "wall bits (s)", "speedup"],
+            [[r["name"], r["omega_bits"], r["work_sets"], r["work_bits"],
+              f'{r["wall_sets"]:.3f}', f'{r["wall_bits"]:.3f}',
+              f'{r["wall_speedup_bits"]:.1f}x'] for r in rows],
+            title="Micro — branch-and-bound kernel backends (sets vs bits)"))
     return "\n\n".join(parts)
 
 

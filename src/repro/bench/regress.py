@@ -78,6 +78,33 @@ def _row_key(row: dict, index: int) -> str:
     return f"row{index}"
 
 
+def _flatten_rows(rows) -> dict:
+    """Key every row for pairing between baseline and candidate.
+
+    Artifacts export either a flat ``list[dict]`` or sections
+    (``dict`` of lists, e.g. micro's representations / early_exit /
+    kernel_backends).  Sectioned rows get a ``section:`` key prefix and
+    repeated keys inside a section a stable ``#index`` suffix, so rows
+    pair positionally-deterministically instead of silently shadowing
+    each other.
+    """
+    if isinstance(rows, dict):
+        triples = [(f"{section}:", row, i)
+                   for section, section_rows in rows.items()
+                   for i, row in enumerate(
+                       section_rows if isinstance(section_rows, list)
+                       else [section_rows])]
+    else:
+        triples = [("", row, i) for i, row in enumerate(rows)]
+    out: dict = {}
+    for prefix, row, i in triples:
+        key = f"{prefix}{_row_key(row, i)}"
+        if key in out:
+            key = f"{key}#{i}"
+        out[key] = row
+    return out
+
+
 def _numeric_items(row: dict, include_time: bool, prefix: str = ""):
     for key, value in row.items():
         full = f"{prefix}{key}"
@@ -107,8 +134,8 @@ def compare(baseline_path: str | Path, candidate_path: str | Path,
             f"artifact mismatch: {base.get('artifact')} vs {cand.get('artifact')}")
     report = RegressionReport(artifact=base["artifact"])
 
-    base_rows = {_row_key(r, i): r for i, r in enumerate(base["rows"])}
-    cand_rows = {_row_key(r, i): r for i, r in enumerate(cand["rows"])}
+    base_rows = _flatten_rows(base["rows"])
+    cand_rows = _flatten_rows(cand["rows"])
     report.missing_rows = sorted(set(base_rows) - set(cand_rows))
     report.new_rows = sorted(set(cand_rows) - set(base_rows))
 

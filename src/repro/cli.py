@@ -48,7 +48,8 @@ def _cmd_solve(args) -> int:
 
         result = lazymc(graph, LazyMCConfig(threads=args.threads,
                                             max_work=args.max_work,
-                                            max_seconds=args.timeout))
+                                            max_seconds=args.timeout,
+                                            kernel_backend=args.kernel))
         if args.json:
             import json
 
@@ -68,7 +69,8 @@ def _cmd_solve(args) -> int:
         from .service.worker import solve_graph
 
         record = solve_graph(graph, args.algo, threads=args.threads,
-                             max_work=args.max_work, max_seconds=args.timeout)
+                             max_work=args.max_work, max_seconds=args.timeout,
+                             kernel=args.kernel)
         if args.json:
             import json
 
@@ -108,7 +110,7 @@ def _solve_with_faults(args, graph: CSRGraph) -> int:
     env = JobEnv(fault_plan=plan.for_job("cli", 0))
     try:
         record = run_job(graph, args.algo, args.threads, args.max_work,
-                         args.timeout, env)
+                         args.timeout, args.kernel, env)
     except InjectedFault as exc:
         record = {"ok": False, "error_type": "InjectedFault", "error": str(exc)}
     if args.json:
@@ -199,7 +201,8 @@ def _cmd_query(args) -> int:
             response = client.solve(args.target, algo=args.algo,
                                     threads=args.threads, max_work=args.max_work,
                                     max_seconds=args.timeout,
-                                    use_cache=not args.no_cache)
+                                    use_cache=not args.no_cache,
+                                    kernel=args.kernel)
     except ProtocolError as exc:
         # A dropped/torn response (e.g. the server's drop:proto fault, or
         # a mid-request restart): a clean, retryable error — not a
@@ -315,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None)
     p.add_argument("--max-work", type=int, default=None,
                    help="deterministic work budget (scanned-element units)")
+    p.add_argument("--kernel", default="sets",
+                   choices=["sets", "bits", "auto"],
+                   help="MC sub-solver backend: list[set] branch and bound, "
+                        "the bit-parallel BBMC kernel, or density-based auto "
+                        "selection (lazymc only)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable record (any algorithm)")
     p.add_argument("--verify", action="store_true",
@@ -369,6 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--timeout", type=float, default=None)
     p.add_argument("--max-work", type=int, default=None)
+    p.add_argument("--kernel", default="sets",
+                   choices=["sets", "bits", "auto"],
+                   help="MC sub-solver backend (lazymc only)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the server-side result cache")
     p.add_argument("--json", action="store_true")

@@ -65,7 +65,17 @@ class LazyMCConfig:
     # MC sub-solver extensions (both off by default = the paper's solver):
     # BRB-style universal-vertex peeling and a DSATUR root bound.
     mc_reduce_universal: bool = False
-    mc_root_bound: str = "none"  # "none" | "dsatur" 
+    mc_root_bound: str = "none"  # "none" | "dsatur"
+    # MC kernel backend (related work §VI, bit-level parallelism):
+    # "sets" is the paper's list[set] solver, "bits" the BBMC-style packed
+    # kernel, "auto" picks bits when the filtered subgraph is at least
+    # ``bits_min_size`` vertices at ``bits_min_density`` induced density —
+    # the dense regime where word-parallel ops win.  When the bits backend
+    # is selected it takes precedence over the k-VC arm: both target the
+    # same dense subgraphs and the bit kernel is the specialist.
+    kernel_backend: str = "sets"  # "sets" | "bits" | "auto"
+    bits_min_size: int = 64
+    bits_min_density: float = 0.5
     # Alg. 5: number of top-degree seeds for degree-based heuristic search.
     # The paper does not fix K; 8 balances heuristic quality against the
     # O(|N|^2)-per-extension argmax cost at analogue scale.
@@ -87,6 +97,12 @@ class LazyMCConfig:
             raise ValueError("heuristic_top_k must be >= 1")
         if self.mc_root_bound not in ("none", "dsatur"):
             raise ValueError("mc_root_bound must be 'none' or 'dsatur'")
+        if self.kernel_backend not in ("sets", "bits", "auto"):
+            raise ValueError("kernel_backend must be 'sets', 'bits' or 'auto'")
+        if self.bits_min_size < 0:
+            raise ValueError("bits_min_size must be >= 0")
+        if not 0.0 <= self.bits_min_density <= 1.0:
+            raise ValueError("bits_min_density must be in [0, 1]")
         if self.local_search_moves < 0:
             raise ValueError("local_search_moves must be >= 0")
 

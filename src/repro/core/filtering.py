@@ -26,8 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..instrument import Counters, WorkBudget
+from ..intersect.bitmatrix import BitMatrix
 from ..intersect.early_exit import intersect_size_gt_bool, intersect_size_gt_val
 from ..intersect.hashset import HopscotchSet
+from ..mc.bitkernel import BitMCSubgraphSolver
 from ..mc.branch_bound import MCSubgraphSolver
 from ..parallel.incumbent import IncumbentView
 from ..vc.clique_via_vc import max_clique_via_vc
@@ -103,6 +105,33 @@ def _induced_adjacency(lazy: LazyGraph, candidates: np.ndarray, min_core: int,
             if j is not None and j != i:
                 adj[i].add(j)
     return adj
+
+
+def _induced_bitmatrix(lazy: LazyGraph, candidates: np.ndarray, min_core: int,
+                       counters: Counters) -> BitMatrix:
+    """Cut out G[N] directly as packed word rows (bits-backend path).
+
+    Skips the Python ``set`` materialization entirely: each neighborhood
+    row is mapped to local ids with a vectorized sorted-membership probe
+    and scattered straight into the row's words.  Charges the same
+    per-element scan as :func:`_induced_adjacency` — the extraction reads
+    the same rows either way.
+    """
+    cand = np.asarray(candidates, dtype=np.int64)
+    k = len(cand)
+    sorter = np.argsort(cand, kind="stable")
+    sorted_cand = cand[sorter]
+    mat = BitMatrix(k)
+    for i in range(k):
+        row = np.asarray(lazy.neighborhood_array(int(cand[i]), min_core),
+                         dtype=np.int64)
+        counters.elements_scanned += len(row)
+        if len(row):
+            pos = np.searchsorted(sorted_cand, row)
+            pos = np.minimum(pos, k - 1)
+            hits = sorted_cand[pos] == row
+            mat.set_row(i, sorter[pos[hits]])
+    return mat
 
 
 def neighbor_search(lazy: LazyGraph, v: int, view: IncumbentView,
@@ -207,10 +236,26 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
     else:
         density = None  # unknown without a val round; computed below
 
-    adj = _induced_adjacency(lazy, cand, cstar, counters)
-    if density is None:
-        edges2 = sum(len(s) for s in adj)
-        density = edges2 / (k * (k - 1)) if k > 1 else 1.0
+    # Backend resolution (line 14's dispatch, extended with the bit
+    # kernel).  The bits backend wants density known and no set-adjacency
+    # built at all (packed rows come straight from the membership probes);
+    # every other consumer — the coloring filter, the k-VC complement
+    # build, the sets solver — needs ``list[set]`` adjacency.  When no val
+    # round ran the density is unknown, so sets are materialized first and
+    # "auto" resolves against the measured value.
+    adj: list[set] | None = None
+    mat: BitMatrix | None = None
+    if density is None or config.kernel_backend != "bits" \
+            or config.coloring_filter:
+        adj = _induced_adjacency(lazy, cand, cstar, counters)
+        if density is None:
+            edges2 = sum(len(s) for s in adj)
+            density = edges2 / (k * (k - 1)) if k > 1 else 1.0
+
+    use_bits = config.kernel_backend == "bits" or (
+        config.kernel_backend == "auto"
+        and k >= config.bits_min_size
+        and density >= config.bits_min_density)
 
     # Optional coloring prune (§III-C): a proper coloring of G[N] with
     # fewer than |C*| colors proves no clique through v can beat the
@@ -224,17 +269,32 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
             return
 
     funnel.searched += 1
-    use_kvc = config.use_kvc and density >= config.density_threshold
+    # The bit kernel takes precedence over k-VC: both specialize in the
+    # dense regime, and when the user (or "auto") asked for bits that is
+    # the dense-subgraph solver of record.
+    use_kvc = (not use_bits) and config.use_kvc \
+        and density >= config.density_threshold
     if use_kvc:
         funnel.searched_kvc += 1
     else:
         funnel.searched_mc += 1
         counters.mc_subsolves += 1
 
+    if use_bits:
+        # Packed extraction is charged as filtering work, same as the
+        # set-adjacency extraction on the other paths.
+        mat = BitMatrix.from_sets(adj) if adj is not None \
+            else _induced_bitmatrix(lazy, cand, cstar, counters)
+
     work_before = counters.work
     if use_kvc:
         found = max_clique_via_vc(adj, lower_bound=cstar - 1,
                                   counters=counters, budget=budget)
+    elif use_bits:
+        solver = BitMCSubgraphSolver(counters=counters, budget=budget,
+                                     root_bound=config.mc_root_bound,
+                                     reduce_universal=config.mc_reduce_universal)
+        found = solver.solve(mat, lower_bound=cstar - 1)
     else:
         solver = MCSubgraphSolver(counters=counters, budget=budget,
                                   root_bound=config.mc_root_bound,

@@ -162,11 +162,15 @@ class LazyGraph:
     # -- prepopulation (Fig. 4) -----------------------------------------------------
 
     def prepopulate(self, policy: PrepopulatePolicy, incumbent_size: int) -> int:
-        """Eagerly build hash representations per policy.
+        """Eagerly build neighborhood representations per policy.
 
         ``MUST`` builds the must subgraph — vertices with coreness at least
         the incumbent size known after degree-based heuristic search (§V-C).
-        Returns the number of neighborhoods built.
+        Each vertex gets the representation the degree rule (§IV-A) would
+        choose lazily: a hash set above ``hash_degree_threshold``, a sorted
+        array otherwise — eager construction changes *when* a
+        representation is built, never *which*.  Returns the number of
+        neighborhoods built.
         """
         if policy == PrepopulatePolicy.NONE:
             return 0
@@ -174,8 +178,12 @@ class LazyGraph:
             targets = np.flatnonzero(self.core >= 0)
         else:
             targets = np.flatnonzero(self.core >= incumbent_size)
+        threshold = self.config.hash_degree_threshold
         for v in targets:
-            self.hashed_neighborhood(int(v), incumbent_size)
+            if self.degrees[v] > threshold:
+                self.hashed_neighborhood(int(v), incumbent_size)
+            else:
+                self.sorted_neighborhood(int(v), incumbent_size)
         return len(targets)
 
     # -- bookkeeping ------------------------------------------------------------------

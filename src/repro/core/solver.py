@@ -6,10 +6,13 @@ Phases, in order, each timed for the Fig. 2 breakdown:
 2. ``kcore`` — incumbent-bounded coreness (vertices with degree below the
    incumbent size are excluded outright).
 3. ``sort`` — the (coreness, degree) two-phase counting sort.
-4. ``prepopulate`` — eager construction of the *must* subgraph's hashed
-   neighborhoods (policy-dependent, Fig. 4).
+4. ``prepopulate`` — eager construction of the *must* subgraph's
+   neighborhood representations, hash or sorted per the §IV-A degree rule
+   (policy-dependent, Fig. 4).
 5. ``heuristic_coreness`` — Alg. 6 on the lazy graph.
-6. ``systematic`` — Alg. 7 + Alg. 8.
+6. ``systematic`` — Alg. 7 + Alg. 8.  The per-neighborhood sub-solver is
+   chosen by ``LazyMCConfig.kernel_backend`` ("sets" | "bits" | "auto");
+   the default "sets" path is the paper's solver, unchanged.
 
 The result is exact: the returned clique is a maximum clique of the input.
 """

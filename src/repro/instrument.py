@@ -38,9 +38,14 @@ class Counters:
       coreness filter at construction time (Alg. 2 line 20).
     * ``mc_subsolves`` / ``kvc_subsolves`` — algorithmic choice (Fig. 6).
     * ``branch_nodes`` — branch-and-bound tree nodes across sub-solvers.
+    * ``words_scanned`` — 64-bit words touched by the bit-parallel kernel's
+      vector ops (the BBMC backend's work unit; zero on the sets backend).
+      One word stands for up to 64 element probes, so cross-backend work
+      totals are not directly comparable — see docs/performance.md.
     """
 
     elements_scanned: int = 0
+    words_scanned: int = 0
     intersections: int = 0
     early_exit_false: int = 0
     early_exit_true: int = 0
@@ -74,8 +79,14 @@ class Counters:
 
     @property
     def work(self) -> int:
-        """Total work in scanned-element units (the Fig. 7 metric)."""
-        return self.elements_scanned + self.branch_nodes + self.hash_inserts
+        """Total work units (the Fig. 7 metric).
+
+        ``words_scanned`` joins the sum so budgets and phase attribution
+        keep working under the bit-parallel backend; it is zero on the
+        default sets path, leaving the historical definition intact.
+        """
+        return (self.elements_scanned + self.branch_nodes +
+                self.hash_inserts + self.words_scanned)
 
     def __repr__(self) -> str:  # compact, only non-zero fields
         parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]

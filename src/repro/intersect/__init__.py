@@ -11,8 +11,12 @@ intersection bigger than θ?" (§IV-B).  This subpackage provides:
   ``intersect_size_gt_val``, ``intersect_gt`` (Alg. 3) and
   ``intersect_size_gt_bool`` (Alg. 4), each instrumented and toggleable for
   the Fig. 5 ablation.
+* :class:`~repro.intersect.bitmatrix.BitMatrix` — packed uint64 adjacency
+  rows for the bit-parallel BBMC kernel (related work §VI), plus the shared
+  vectorized :func:`~repro.intersect.bitmatrix.popcount_words`.
 """
 
+from .bitmatrix import BitMatrix, popcount_words
 from .hashset import HopscotchSet
 from .sorted_ops import intersect_sorted, intersect_sorted_galloping, intersect_count_sorted
 from .early_exit import (
@@ -23,6 +27,8 @@ from .early_exit import (
 )
 
 __all__ = [
+    "BitMatrix",
+    "popcount_words",
     "HopscotchSet",
     "intersect_sorted",
     "intersect_sorted_galloping",

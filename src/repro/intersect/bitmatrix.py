@@ -1,0 +1,161 @@
+"""Packed bit-parallel adjacency (BBMC backend storage, related work §VI).
+
+San Segundo's BBMC family encodes the candidate set and every adjacency
+row as bit vectors so the branch-and-bound inner operations — candidate
+refinement (``cand & adj[v]``) and color-class construction
+(``q &= ~adj[v]``) — become word-parallel machine operations instead of
+per-element membership probes.  :class:`BitMatrix` is that encoding for
+the induced candidate subgraphs the filter funnel produces: ``n`` rows of
+``ceil(n / 64)`` uint64 words, row ``v``'s bit ``u`` set iff ``(v, u)``
+is an edge.
+
+Construction is numpy-vectorized (scatter of ``1 << (idx & 63)`` into
+word slots).  The branch-and-bound kernel itself
+(:mod:`repro.mc.bitkernel`) consumes rows as arbitrary-precision Python
+ints (:meth:`row_int`): at subgraph scale (tens of words) CPython's
+big-int bitwise ops run the whole row in one C call, beating per-call
+numpy dispatch overhead while preserving the word-parallel cost model —
+the kernel charges ``words_scanned`` per row operation either way.
+
+The module also owns :func:`popcount_words`, the shared vectorized
+popcount: ``np.bitwise_count`` where numpy provides it (>= 2.0), else a
+16-bit lookup table — never the 8x-allocating ``np.unpackbits`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD = 64
+
+#: Lazily built 16-bit popcount lookup table (fallback when numpy lacks
+#: ``bitwise_count``).  64 KiB, built once on first use.
+_POPCOUNT16: np.ndarray | None = None
+
+
+def _popcount16_table() -> np.ndarray:
+    global _POPCOUNT16
+    if _POPCOUNT16 is None:
+        idx = np.arange(1 << 16)
+        table = np.zeros(1 << 16, dtype=np.uint8)
+        for bit in range(16):
+            table += ((idx >> bit) & 1).astype(np.uint8)
+        _POPCOUNT16 = table
+    return _POPCOUNT16
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount_words(words: np.ndarray) -> int:
+        """Total set bits across ``words`` (native ``np.bitwise_count``)."""
+        return int(np.bitwise_count(words).sum())
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    def popcount_words(words: np.ndarray) -> int:
+        """Total set bits across ``words`` (16-bit lookup-table fallback)."""
+        if not len(words):
+            return 0
+        halves = words.view(np.uint16)
+        return int(_popcount16_table()[halves].sum())
+
+
+def popcount_words_lut(words: np.ndarray) -> int:
+    """Lookup-table popcount, exposed for tests regardless of numpy version."""
+    if not len(words):
+        return 0
+    halves = np.ascontiguousarray(words).view(np.uint16)
+    return int(_popcount16_table()[halves].sum())
+
+
+class BitMatrix:
+    """Symmetric adjacency over ``range(n)`` as packed 64-bit word rows.
+
+    Rows are stored in one contiguous ``(n, words_per_row)`` uint64 array;
+    :meth:`row_int` exposes a row as a Python int (cached) for the
+    branch-and-bound kernel's big-int hot loop.  Mutating a row after its
+    int form was requested is a programming error; construction sites
+    build fully before solving.
+    """
+
+    __slots__ = ("n", "words_per_row", "words", "_row_ints")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self.words_per_row = (n + _WORD - 1) // _WORD
+        self.words = np.zeros((n, self.words_per_row), dtype=np.uint64)
+        self._row_ints: list[int | None] = [None] * n
+
+    # -- construction -------------------------------------------------------------
+
+    def set_row(self, v: int, members: np.ndarray) -> None:
+        """Set row ``v``'s bits from an array of neighbor indices.
+
+        Vectorized scatter; self-loops are dropped (a vertex is never its
+        own neighbor in clique search).
+        """
+        members = np.asarray(members, dtype=np.int64)
+        if len(members):
+            if members.min() < 0 or members.max() >= self.n:
+                raise ValueError("neighbor index out of range")
+            members = members[members != v]
+            slots = members >> 6
+            bits = np.uint64(1) << (members & 63).astype(np.uint64)
+            np.bitwise_or.at(self.words[v], slots, bits)
+        self._row_ints[v] = None
+
+    @classmethod
+    def from_sets(cls, adj: list[set]) -> "BitMatrix":
+        """Pack ``list[set]`` local-id adjacency (the sets-backend form)."""
+        mat = cls(len(adj))
+        for v, nbrs in enumerate(adj):
+            if nbrs:
+                mat.set_row(v, np.fromiter(nbrs, dtype=np.int64, count=len(nbrs)))
+        return mat
+
+    def to_sets(self) -> list[set]:
+        """Inverse of :meth:`from_sets` (tests and cross-backend checks)."""
+        return [set(map(int, self.row_members(v))) for v in range(self.n)]
+
+    # -- access -------------------------------------------------------------------
+
+    def row_int(self, v: int) -> int:
+        """Row ``v`` as one arbitrary-precision int (little-endian, cached)."""
+        cached = self._row_ints[v]
+        if cached is None:
+            cached = int.from_bytes(self.words[v].tobytes(), "little")
+            self._row_ints[v] = cached
+        return cached
+
+    def row_ints(self) -> list[int]:
+        """All rows as Python ints (the kernel's working form)."""
+        return [self.row_int(v) for v in range(self.n)]
+
+    def row_members(self, v: int) -> np.ndarray:
+        """Indices of set bits in row ``v`` (sorted, vectorized unpack)."""
+        bits = np.unpackbits(self.words[v].view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[:self.n]).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership probe (shift-and-mask)."""
+        return bool(self.words[u][v >> 6] >> np.uint64(v & 63) & np.uint64(1))
+
+    def degrees(self) -> np.ndarray:
+        """Per-row popcounts."""
+        if hasattr(np, "bitwise_count"):
+            return np.bitwise_count(self.words).sum(axis=1).astype(np.int64)
+        return np.array([popcount_words_lut(self.words[v])
+                         for v in range(self.n)], dtype=np.int64)
+
+    @property
+    def m2(self) -> int:
+        """Directed edge count (sum of degrees; 2x the undirected count)."""
+        return popcount_words(self.words.reshape(-1))
+
+    def density(self) -> float:
+        """Directed density ``m2 / (n * (n - 1))``."""
+        if self.n <= 1:
+            return 1.0
+        return self.m2 / (self.n * (self.n - 1))
+
+    def __repr__(self) -> str:
+        return f"BitMatrix(n={self.n}, words_per_row={self.words_per_row})"

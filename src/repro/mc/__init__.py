@@ -5,11 +5,14 @@ uses Tomita's pivoting technique ... vertices sorted by degeneracy order ...
 pruning by comparison to the incumbent clique size [and] a coloring-based
 pruning rule".  That combination is the classic MCQ/MCS family; this package
 implements it over small set-adjacency subgraphs, which is how the
-systematic search consumes it.
+systematic search consumes it.  :mod:`~repro.mc.bitkernel` is the same
+search in BBMC bit-parallel form (related work §VI), selected via
+``LazyMCConfig.kernel_backend``.
 """
 
 from .coloring import greedy_coloring, color_sort, chromatic_upper_bound
-from .branch_bound import max_clique_subgraph, MCSubgraphSolver
+from .branch_bound import max_clique_subgraph, MCSubgraphSolver, peel_order
+from .bitkernel import max_clique_bits, BitMCSubgraphSolver
 from .bronkerbosch import bron_kerbosch_pivot, enumerate_maximal_cliques
 from .kclique import count_k_cliques, find_k_clique, has_k_clique
 from .weighted import MaxWeightCliqueSolver, max_weight_clique
@@ -20,6 +23,9 @@ __all__ = [
     "chromatic_upper_bound",
     "max_clique_subgraph",
     "MCSubgraphSolver",
+    "peel_order",
+    "max_clique_bits",
+    "BitMCSubgraphSolver",
     "bron_kerbosch_pivot",
     "enumerate_maximal_cliques",
     "count_k_cliques",

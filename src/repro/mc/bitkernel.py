@@ -1,0 +1,292 @@
+"""BBMC-style bit-parallel branch and bound (related work §VI).
+
+The same MCQ search as :mod:`repro.mc.branch_bound` — Tomita color bound,
+reverse color order, degeneracy root order, incumbent pruning — but with
+every set operation word-parallel, the encoding San Segundo's bitboard
+solvers and Prosser's computational study found fastest on exactly the
+dense candidate subgraphs the filter funnel emits:
+
+* the candidate set is a bit vector, so ``new_candidates = cand & adj[v]``
+  is one AND over ``ceil(n/64)`` words instead of ``|cand|`` membership
+  probes;
+* color classes are built by repeated ``q &= ~adj[v]`` — NUMBER-SORT with
+  one word-vector op per placed vertex (class-by-class greedy first-fit
+  assigns exactly the same colors as the sets backend's vertex-by-vertex
+  first-fit, so the color bound is identically tight);
+* degeneracy ordering is applied once, up front, as a *bit relabelling*:
+  vertex ids inside the kernel are ranks in the peel order, so ascending
+  bit order inside any candidate word vector **is** degeneracy order and
+  the search never re-sorts.
+
+Work accounting is word-granular: the kernel charges
+``Counters.words_scanned`` per row-width vector op, the bit analogue of
+the sets backend's per-element ``elements_scanned``.  The two backends
+therefore report different (but each internally consistent) work totals —
+see docs/performance.md for the counter semantics.
+
+The solve contract mirrors :class:`~repro.mc.branch_bound.MCSubgraphSolver`
+exactly: ``solve(mat, lower_bound, checkpointer, resume)`` returns a
+clique strictly larger than the bound or ``None`` (a proof), honors
+``WorkBudget`` ticks at every branch node, and checkpoints/resumes over
+the same descending root-index cursor.  Checkpoint cliques are stored in
+kernel-internal (relabelled) ids and are only replayable against the same
+(matrix, bound, config) triple — the same determinism caveat the sets
+backend documents.
+"""
+
+from __future__ import annotations
+
+from ..checkpoint import Checkpointer, SearchCheckpoint
+from ..instrument import Counters, WorkBudget
+from ..intersect.bitmatrix import BitMatrix
+from .branch_bound import peel_order
+
+
+class BitMCSubgraphSolver:
+    """Bit-parallel drop-in for :class:`~repro.mc.branch_bound.MCSubgraphSolver`.
+
+    ``root_bound`` is accepted for signature parity but has no separate
+    implementation: the root call's own color bound subsumes a standalone
+    coloring-based refutation (a NUMBER-SORT coloring with <= ``lb``
+    colors makes the root loop return before branching), so "dsatur" adds
+    no pruning the kernel does not already perform.
+    """
+
+    def __init__(self, counters: Counters | None = None,
+                 budget: WorkBudget | None = None,
+                 root_bound: str = "none",
+                 reduce_universal: bool = False):
+        if root_bound not in ("none", "dsatur"):
+            raise ValueError("root_bound must be 'none' or 'dsatur'")
+        self.counters = counters if counters is not None else Counters()
+        self.budget = budget
+        self.root_bound = root_bound
+        self.reduce_universal = reduce_universal
+        self._rows: list[int] = []
+        self._neg_rows: list[int] = []
+        self._wpr = 0
+        self._best: list[int] = []
+        self._best_size = 0
+
+    def solve(self, mat: BitMatrix, lower_bound: int = 0,
+              checkpointer: Checkpointer | None = None,
+              resume: SearchCheckpoint | None = None) -> list[int] | None:
+        """Find a clique strictly larger than ``lower_bound`` in ``mat``.
+
+        Returns local ids of ``mat`` (or ``None`` as an exactness proof),
+        identical in meaning to the sets backend's return value.
+        """
+        n = mat.n
+        if n == 0:
+            return None
+        counters = self.counters
+        self._wpr = max(mat.words_per_row, 1)
+
+        # Degeneracy relabelling: kernel id i is the vertex at rank i of
+        # the peel order, so bit order == root branching order.
+        raw_rows = mat.row_ints()
+        order = peel_order(
+            [r.bit_count() for r in raw_rows],
+            lambda v: _iter_bits(raw_rows[v]))
+        rank = [0] * n
+        for i, v in enumerate(order):
+            rank[v] = i
+        rows = [0] * n
+        for v in range(n):
+            row = 0
+            for u in _iter_bits(raw_rows[v]):
+                row |= 1 << rank[u]
+            rows[rank[v]] = row
+        counters.words_scanned += n * self._wpr  # one packed pass per row
+        self._rows = rows
+        # Complement rows, precomputed once: the coloring inner loop masks
+        # out neighbors with `q &= ~adj[v]` at every placement, and Python
+        # big-int negation is a full word-vector pass better paid up front.
+        self._neg_rows = [~r for r in rows]
+
+        cand = (1 << n) - 1
+
+        # BRB-style universal-vertex peeling (bit form): popcount equality
+        # identifies a vertex adjacent to every other alive vertex; it can
+        # be committed to the clique without branching.
+        prefix: list[int] = []
+        if self.reduce_universal:
+            alive_count = n
+            while True:
+                found = -1
+                q = cand
+                while q:
+                    b = q & -q
+                    u = b.bit_length() - 1
+                    q ^= b
+                    counters.words_scanned += self._wpr
+                    if (rows[u] & cand).bit_count() == alive_count - 1:
+                        found = u
+                        break
+                if found < 0:
+                    break
+                prefix.append(found)
+                cand ^= 1 << found
+                alive_count -= 1
+                counters.kernel_reductions += 1
+
+        residual_bound = max(lower_bound - len(prefix), 0)
+        self._best = []
+        self._best_size = residual_bound
+        found_clique: list[int] | None = None
+        if cand:
+            self._run_roots(cand, checkpointer, resume)
+            found_clique = list(self._best) if self._best else None
+
+        if found_clique is not None:
+            kernel_ids = prefix + found_clique
+            return [order[i] for i in kernel_ids]
+        if prefix and len(prefix) > lower_bound:
+            return [order[i] for i in prefix]
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_roots(self, cand: int,
+                   checkpointer: Checkpointer | None,
+                   resume: SearchCheckpoint | None) -> None:
+        """Root level of :meth:`_expand`, unrolled for checkpointing.
+
+        Identical traversal either way; with a ``checkpointer`` a snapshot
+        (``cursor`` = next root index, descending) is offered after every
+        root branch, and ``resume`` fast-forwards to its cursor.
+        """
+        counters = self.counters
+        counters.branch_nodes += 1
+        if self.budget is not None:
+            self.budget.check()
+        ordered, colors = self._color_sort(cand)
+        rows = self._rows
+        start = len(ordered) - 1
+        if resume is not None:
+            if resume.complete:
+                start = -1
+            elif resume.cursor is not None:
+                start = min(start, resume.cursor)
+            if len(resume.clique) > self._best_size:
+                self._best = list(resume.clique)
+                self._best_size = len(resume.clique)
+            # Candidates above the resume cursor were fully explored by the
+            # previous attempt; drop them exactly as the loop would have.
+            for i in range(len(ordered) - 1, start, -1):
+                cand &= ~(1 << ordered[i])
+        for i in range(start, -1, -1):
+            if colors[i] <= self._best_size:
+                break
+            v = ordered[i]
+            cand &= ~(1 << v)
+            new_cand = cand & rows[v]
+            counters.words_scanned += self._wpr
+            if new_cand:
+                self._expand([v], new_cand)
+            elif 1 > self._best_size:
+                self._best = [v]
+                self._best_size = 1
+                counters.incumbent_updates += 1
+            if checkpointer is not None:
+                checkpointer.offer(SearchCheckpoint(
+                    clique=list(self._best), work=counters.work, cursor=i - 1))
+        if checkpointer is not None:
+            checkpointer.offer(SearchCheckpoint(
+                clique=list(self._best), work=counters.work, cursor=-1,
+                complete=True), force=True)
+
+    def _color_sort(self, cand: int,
+                    kmin: int = 0) -> tuple[list[int], list[int]]:
+        """NUMBER-SORT on a candidate bit vector.
+
+        Color classes are carved greedily: class ``c`` repeatedly takes
+        the lowest remaining candidate and masks out its neighbors
+        (``q &= ~adj[v]``), one word-vector op per placement.  Returns
+        ``(ordered, colors)`` with colors non-decreasing, the contract of
+        :func:`repro.mc.coloring.color_sort` — except that vertices whose
+        color is <= ``kmin`` are *omitted* (BBMC's pruned-first-classes
+        refinement): the caller's bound check would never branch them, so
+        recording them only to skip them is wasted list traffic.  They
+        stay in the candidate bit vector, which is what deeper nodes see.
+        """
+        counters = self.counters
+        neg_rows = self._neg_rows
+        ordered: list[int] = []
+        colors: list[int] = []
+        push_v = ordered.append
+        push_c = colors.append
+        rem = cand
+        color = 0
+        placed = 0
+        while rem:
+            color += 1
+            q = rem
+            if color > kmin:
+                while q:
+                    b = q & -q
+                    v = b.bit_length() - 1
+                    q = (q ^ b) & neg_rows[v]
+                    rem ^= b
+                    push_v(v)
+                    push_c(color)
+                    placed += 1
+            else:
+                while q:
+                    b = q & -q
+                    q = (q ^ b) & neg_rows[b.bit_length() - 1]
+                    rem ^= b
+                    placed += 1
+        counters.words_scanned += placed * self._wpr
+        counters.colorings += 1
+        return ordered, colors
+
+    def _expand(self, clique: list[int], cand: int) -> None:
+        counters = self.counters
+        counters.branch_nodes += 1
+        if self.budget is not None:
+            self.budget.check()
+        base = len(clique)
+        # Popcount pre-bound: |cand| caps the color count, so when even
+        # |C| + |cand| cannot beat the incumbent the color sort would
+        # return without branching anyway — prune for one popcount.
+        if base + cand.bit_count() <= self._best_size:
+            counters.words_scanned += self._wpr
+            return
+        rows = self._rows
+        ordered, colors = self._color_sort(cand, self._best_size - base)
+        branched = 0
+        try:
+            for i in range(len(ordered) - 1, -1, -1):
+                if base + colors[i] <= self._best_size:
+                    return
+                v = ordered[i]
+                branched += 1
+                cand &= ~(1 << v)
+                new_cand = cand & rows[v]
+                if new_cand:
+                    clique.append(v)
+                    self._expand(clique, new_cand)
+                    clique.pop()
+                elif base + 1 > self._best_size:
+                    self._best = clique + [v]
+                    self._best_size = base + 1
+                    counters.incumbent_updates += 1
+        finally:
+            counters.words_scanned += branched * self._wpr
+
+
+def max_clique_bits(mat: BitMatrix, lower_bound: int = 0,
+                    counters: Counters | None = None,
+                    budget: WorkBudget | None = None) -> list[int] | None:
+    """Convenience wrapper around :class:`BitMCSubgraphSolver`."""
+    return BitMCSubgraphSolver(counters=counters,
+                               budget=budget).solve(mat, lower_bound)
+
+
+def _iter_bits(x: int):
+    """Yield set-bit positions of ``x``, ascending."""
+    while x:
+        b = x & -x
+        yield b.bit_length() - 1
+        x ^= b

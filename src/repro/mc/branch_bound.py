@@ -10,25 +10,68 @@ incumbent-size pruning.  It operates on set-adjacency over local ids
 
 from __future__ import annotations
 
+import heapq
+
 from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
 from .coloring import color_sort, dsatur_coloring
 
 
-def _degeneracy_order_sets(adj: list[set]) -> list[int]:
-    """Peeling order on set adjacency (small-n helper)."""
-    n = len(adj)
-    deg = {v: len(adj[v]) for v in range(n)}
-    alive = set(range(n))
-    order = []
-    while alive:
-        v = min(alive, key=lambda x: (deg[x], x))
+def peel_order(degrees: list[int], neighbors) -> list[int]:
+    """Min-degree peeling order via a bucket queue of lazy heaps.
+
+    Selects, at every step, the minimum-(current degree, id) alive vertex
+    — the same tie-break as a linear ``min`` scan, but in
+    O((n + m) log n) instead of O(n^2): ``buckets[d]`` is a heap of
+    vertex ids whose degree *was* ``d`` when pushed; stale entries (degree
+    since decreased, or vertex already peeled) are skipped on pop.  The
+    cursor only rewinds by one per removal because degrees drop by at
+    most one per peeled neighbor.
+
+    ``neighbors`` maps a vertex to an iterable of its neighbor ids;
+    shared by the set-adjacency and bit-matrix backends.
+    """
+    n = len(degrees)
+    deg = list(degrees)
+    buckets: dict[int, list[int]] = {}
+    for v in range(n):
+        buckets.setdefault(deg[v], []).append(v)
+    for heap in buckets.values():
+        heapq.heapify(heap)
+    dead = [False] * n
+    order: list[int] = []
+    cursor = 0
+    while len(order) < n:
+        heap = buckets.get(cursor)
+        v = None
+        while heap:
+            top = heap[0]
+            if dead[top] or deg[top] != cursor:
+                heapq.heappop(heap)  # stale entry
+                continue
+            v = heapq.heappop(heap)
+            break
+        if v is None:
+            cursor += 1
+            continue
         order.append(v)
-        alive.remove(v)
-        for u in adj[v]:
-            if u in alive:
+        dead[v] = True
+        for u in neighbors(v):
+            if not dead[u]:
                 deg[u] -= 1
+                heapq.heappush(buckets.setdefault(deg[u], []), u)
+        cursor = max(0, cursor - 1)
     return order
+
+
+def _degeneracy_order_sets(adj) -> list[int]:
+    """Peeling order on set adjacency (small-n helper).
+
+    Accepts a ``list[set]`` or any mapping-like object indexable by the
+    vertex ids ``0..n-1`` (callers sometimes pass dicts).
+    """
+    return peel_order([len(adj[v]) for v in range(len(adj))],
+                      lambda v: adj[v])
 
 
 class MCSubgraphSolver:

@@ -38,6 +38,7 @@ class JobSpec:
     max_work: int | None = None
     max_seconds: float | None = None
     use_cache: bool = True
+    kernel: str = "sets"
 
     def __post_init__(self) -> None:
         if (self.target is None) == (self.graph is None):
@@ -47,6 +48,8 @@ class JobSpec:
                              f"known: {', '.join(ALGORITHMS)}")
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.kernel not in ("sets", "bits", "auto"):
+            raise ValueError("kernel must be 'sets', 'bits' or 'auto'")
 
     def config_key(self) -> str:
         """Canonical string of every result-affecting knob except the graph.
@@ -61,6 +64,7 @@ class JobSpec:
             "threads": self.threads,
             "max_work": self.max_work,
             "max_seconds": self.max_seconds,
+            "kernel": self.kernel,
         }, sort_keys=True)
 
 

@@ -36,7 +36,7 @@ OPS = ("solve", "metrics", "ping", "shutdown")
 #: Keys a solve request may carry (anything else is a client bug worth
 #: flagging loudly rather than silently ignoring).
 _SOLVE_KEYS = {"op", "target", "edges", "algo", "threads",
-               "max_work", "max_seconds", "use_cache"}
+               "max_work", "max_seconds", "use_cache", "kernel"}
 
 
 def encode_message(message: dict) -> bytes:
@@ -120,10 +120,10 @@ class ServiceClient:
     def solve(self, target: str | None = None, *, edges=None,
               algo: str = "lazymc", threads: int = 1,
               max_work: int | None = None, max_seconds: float | None = None,
-              use_cache: bool = True) -> dict:
+              use_cache: bool = True, kernel: str = "sets") -> dict:
         """Convenience wrapper building a ``solve`` request."""
         message: dict = {"op": "solve", "algo": algo, "threads": threads,
-                         "use_cache": use_cache}
+                         "use_cache": use_cache, "kernel": kernel}
         if target is not None:
             message["target"] = target
         if edges is not None:

@@ -43,6 +43,7 @@ def _spec_from_message(message: dict) -> JobSpec:
         max_work=message.get("max_work"),
         max_seconds=message.get("max_seconds"),
         use_cache=bool(message.get("use_cache", True)),
+        kernel=message.get("kernel", "sets"),
     )
 
 

@@ -152,12 +152,12 @@ class CliqueService:
             if isinstance(self.pool, SupervisedPool):
                 inner = self.pool.submit(
                     run_job, graph, spec.algo, spec.threads, spec.max_work,
-                    spec.max_seconds, label=spec.algo,
+                    spec.max_seconds, spec.kernel, label=spec.algo,
                     env_factory=self._env_factory())
             else:
                 inner = self.pool.submit(run_job, graph, spec.algo,
                                          spec.threads, spec.max_work,
-                                         spec.max_seconds)
+                                         spec.max_seconds, spec.kernel)
         except RuntimeError as exc:  # pool already shut down
             self.metrics.inc("jobs_failed")
             return self._completed(spec, JobResult.failure(exc), fp)

@@ -58,6 +58,7 @@ class JobEnv:
 def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
                 max_work: int | None = None,
                 max_seconds: float | None = None,
+                kernel: str = "sets",
                 env: JobEnv | None = None) -> dict:
     """Run ``algo`` on ``graph`` and return a uniform record.
 
@@ -65,8 +66,9 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
     ``wall_seconds``, ``timed_out``, ``exact`` and ``work`` regardless of
     algorithm (the CLI's ``solve --json`` shares this contract), plus
     ``resumed`` when a checkpointed attempt continued a previous one.
-    Checkpoint/resume and ``solve``-site faults are wired for ``lazymc``
-    only — the baselines manage their own budgets and stay restart-only.
+    Checkpoint/resume, ``solve``-site faults and the ``kernel`` backend
+    selection ("sets" | "bits" | "auto") are wired for ``lazymc`` only —
+    the baselines manage their own budgets and solvers.
     """
     resumed = False
     if algo == "lazymc":
@@ -84,7 +86,8 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
                 fault_hook = env.fault_plan.on_budget_tick
         result = lazymc(graph, LazyMCConfig(threads=threads,
                                             max_work=max_work,
-                                            max_seconds=max_seconds),
+                                            max_seconds=max_seconds,
+                                            kernel_backend=kernel),
                         checkpointer=checkpointer, resume=resume,
                         fault_hook=fault_hook)
     else:
@@ -124,7 +127,7 @@ def _sink_to(path: str):
 
 def run_job(graph: CSRGraph, algo: str, threads: int,
             max_work: int | None, max_seconds: float | None,
-            env: JobEnv | None = None) -> dict:
+            kernel: str = "sets", env: JobEnv | None = None) -> dict:
     """Pool entry point: :func:`solve_graph` with failures as records.
 
     Ordinary exceptions never cross the process boundary as exceptions —
@@ -139,7 +142,8 @@ def run_job(graph: CSRGraph, algo: str, threads: int,
     try:
         if plan is not None:
             plan.on_worker_entry()
-        record = solve_graph(graph, algo, threads, max_work, max_seconds, env)
+        record = solve_graph(graph, algo, threads, max_work, max_seconds,
+                             kernel, env)
         if plan is not None and plan.on_proto():
             raise InjectedFault("injected drop: result lost in transport")
         record["ok"] = True

@@ -131,7 +131,7 @@ class TestPrepopulate:
         lazy, _, _ = make_lazy(g)
         built = lazy.prepopulate(PrepopulatePolicy.ALL, 2)
         assert built == g.n
-        assert lazy.built_counts()[0] == g.n
+        assert sum(lazy.built_counts()) == g.n
 
     def test_must_builds_high_coreness_only(self):
         g = random_graph(30, 0.3, seed=12)
@@ -140,7 +140,20 @@ class TestPrepopulate:
         built = lazy.prepopulate(PrepopulatePolicy.MUST, threshold)
         expected = int(np.sum(lazy.core >= threshold))
         assert built == expected
-        assert lazy.built_counts()[0] == expected
+        assert sum(lazy.built_counts()) == expected
+
+    def test_prepopulate_honors_degree_rule(self):
+        # Star graph: only the center's degree exceeds the threshold, so
+        # prepopulation must hash the center and sort the leaves — the
+        # same split the lazy path's degree rule (§IV-A) would produce.
+        g = from_edges(20, [(0, i) for i in range(1, 20)])
+        cfg = LazyMCConfig(hash_degree_threshold=16)
+        lazy, order, _ = make_lazy(g, config=cfg)
+        built = lazy.prepopulate(PrepopulatePolicy.ALL, 0)
+        assert built == g.n
+        n_hash, n_sorted = lazy.built_counts()
+        assert n_hash == 1
+        assert n_sorted == g.n - 1
 
 
 class TestTranslation:

@@ -1,0 +1,161 @@
+"""Bit-parallel kernel: equivalence with the sets backend, resume, budget.
+
+The BBMC-style :class:`~repro.mc.bitkernel.BitMCSubgraphSolver` must be a
+drop-in for :class:`~repro.mc.branch_bound.MCSubgraphSolver`: same exact
+answers at every density, same checkpoint/resume contract, same budget
+discipline.  The hypothesis suites here are the net that lets the bit
+kernel's refinements (popcount pre-bound, pruned-first color classes)
+evolve without silently changing answers.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint import Checkpointer
+from repro.errors import BudgetExceeded
+from repro.instrument import Counters, WorkBudget
+from repro.intersect import BitMatrix
+from repro.mc import BitMCSubgraphSolver, MCSubgraphSolver, max_clique_bits
+
+
+def _random_adj(n: int, p: float, seed: int) -> list[set]:
+    """G(n, p) as set adjacency over local ids, stdlib PRNG."""
+    import random
+
+    rng = random.Random(seed)
+    adj: list[set] = [set() for _ in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+def _is_clique(adj: list[set], clique: list[int]) -> bool:
+    return all(v in adj[u] for i, u in enumerate(clique)
+               for v in clique[i + 1:])
+
+
+class TestBitsVsSetsEquivalence:
+    @given(n=st.integers(1, 30), p=st.floats(0.05, 0.95),
+           seed=st.integers(0, 10**6), lb=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_same_size_and_valid(self, n, p, seed, lb):
+        adj = _random_adj(n, p, seed)
+        sets_found = MCSubgraphSolver().solve(adj, lower_bound=lb)
+        bits_found = BitMCSubgraphSolver().solve(
+            BitMatrix.from_sets(adj), lower_bound=lb)
+        if sets_found is None:
+            assert bits_found is None
+        else:
+            assert bits_found is not None
+            assert len(bits_found) == len(sets_found)
+            assert len(bits_found) > lb
+            assert len(set(bits_found)) == len(bits_found)
+            assert _is_clique(adj, bits_found)
+
+    @pytest.mark.parametrize("p", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_density_sweep(self, p):
+        for seed in range(4):
+            adj = _random_adj(24, p, seed * 31 + 5)
+            sets_found = MCSubgraphSolver().solve(adj)
+            bits_found = BitMCSubgraphSolver().solve(BitMatrix.from_sets(adj))
+            assert len(bits_found) == len(sets_found)
+            assert _is_clique(adj, bits_found)
+
+    @given(n=st.integers(1, 24), p=st.floats(0.3, 0.95),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_universal_same_size(self, n, p, seed):
+        adj = _random_adj(n, p, seed)
+        base = MCSubgraphSolver().solve(adj)
+        reduced = BitMCSubgraphSolver(reduce_universal=True).solve(
+            BitMatrix.from_sets(adj))
+        assert (reduced is None) == (base is None)
+        if base is not None:
+            assert len(reduced) == len(base)
+            assert _is_clique(adj, reduced)
+
+    def test_empty_matrix(self):
+        assert BitMCSubgraphSolver().solve(BitMatrix(0)) is None
+
+    def test_wrapper(self):
+        adj = _random_adj(16, 0.6, 9)
+        counters = Counters()
+        found = max_clique_bits(BitMatrix.from_sets(adj), counters=counters)
+        assert _is_clique(adj, found)
+        assert counters.words_scanned > 0
+
+
+class TestBitsCheckpointResume:
+    def _instance(self, seed=3):
+        return _random_adj(48, 0.5, seed)
+
+    def test_checkpointing_does_not_change_result(self):
+        adj = self._instance()
+        mat = BitMatrix.from_sets(adj)
+        base = BitMCSubgraphSolver().solve(mat)
+        checked = BitMCSubgraphSolver().solve(
+            mat, checkpointer=Checkpointer(lambda _: None))
+        assert len(checked) == len(base)
+
+    @given(seed=st.integers(0, 50), frac=st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_resume_from_any_snapshot_matches(self, seed, frac):
+        adj = _random_adj(36, 0.5, seed)
+        mat = BitMatrix.from_sets(adj)
+        base = BitMCSubgraphSolver().solve(mat)
+        snaps = []
+        BitMCSubgraphSolver().solve(mat, checkpointer=Checkpointer(snaps.append))
+        assert snaps and snaps[-1].complete
+        snap = snaps[min(int(frac * len(snaps)), len(snaps) - 1)]
+        resumed = BitMCSubgraphSolver().solve(mat, resume=snap)
+        # Checkpoint cliques are kernel-internal relabelled ids; sizes are
+        # the cross-run invariant (same contract as the sets backend).
+        assert len(resumed) == len(base)
+
+    def test_resume_from_complete_snapshot(self):
+        adj = self._instance()
+        mat = BitMatrix.from_sets(adj)
+        base = BitMCSubgraphSolver().solve(mat)
+        snaps = []
+        BitMCSubgraphSolver().solve(mat, checkpointer=Checkpointer(snaps.append))
+        resumed = BitMCSubgraphSolver().solve(mat, resume=snaps[-1])
+        assert len(resumed) == len(base)
+
+
+class TestBitsBudgetParity:
+    def test_tiny_budget_trips(self):
+        adj = _random_adj(40, 0.7, 11)
+        counters = Counters()
+        budget = WorkBudget(max_work=5, counters=counters)
+        solver = BitMCSubgraphSolver(counters=counters, budget=budget)
+        with pytest.raises(BudgetExceeded):
+            solver.solve(BitMatrix.from_sets(adj))
+        assert counters.work > 5
+
+    def test_both_backends_trip_on_tiny_budget(self):
+        # Work totals differ by design (words vs elements), but both
+        # backends must honor the same budget discipline: a budget far
+        # below either backend's full-solve cost trips both.
+        adj = _random_adj(40, 0.7, 11)
+        for make in (
+            lambda c, b: (MCSubgraphSolver(counters=c, budget=b), adj),
+            lambda c, b: (BitMCSubgraphSolver(counters=c, budget=b),
+                          BitMatrix.from_sets(adj)),
+        ):
+            counters = Counters()
+            budget = WorkBudget(max_work=50, counters=counters)
+            solver, problem = make(counters, budget)
+            with pytest.raises(BudgetExceeded):
+                solver.solve(problem)
+
+    def test_ample_budget_does_not_trip(self):
+        adj = _random_adj(24, 0.5, 2)
+        counters = Counters()
+        budget = WorkBudget(max_work=10**9, counters=counters)
+        base = MCSubgraphSolver().solve(adj)
+        found = BitMCSubgraphSolver(counters=counters, budget=budget).solve(
+            BitMatrix.from_sets(adj))
+        assert len(found) == len(base)
