@@ -10,9 +10,36 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .core.filtering import FilterFunnel
 from .core.solver import MCResult
 from .graph.csr import CSRGraph
 from .graph import may_must_report
+
+
+def funnel_section(funnel: FilterFunnel | None, n_vertices: int) -> dict:
+    """JSON form of a :class:`~repro.core.filtering.FilterFunnel`.
+
+    The shared ``funnel`` section of ``solve --json`` records and service
+    results: per-stage survivor counts, sub-solver routing, the work
+    split, and the Table III per-mille normalization.  ``funnel=None``
+    (a baseline algorithm, which has no funnel) yields the same shape
+    with every count zero, so downstream tooling can rely on the keys.
+    """
+    f = funnel if funnel is not None else FilterFunnel()
+    return {
+        "considered": f.considered,
+        "after_coreness": f.after_coreness,
+        "after_filter1": f.after_filter1,
+        "after_filter2": f.after_filter2,
+        "after_filter3": f.after_filter3,
+        "searched": f.searched,
+        "searched_mc": f.searched_mc,
+        "searched_kvc": f.searched_kvc,
+        "work_filtering": f.work_filtering,
+        "work_mc": f.work_mc,
+        "work_kvc": f.work_kvc,
+        "per_mille": f.per_mille(n_vertices),
+    }
 
 
 @dataclass(frozen=True)
@@ -115,16 +142,7 @@ def to_dict(graph: CSRGraph, result: MCResult) -> dict:
         "wall_seconds": result.wall_seconds,
         "work": result.counters.work,
         "counters": result.counters.as_dict(),
-        "funnel": {
-            "considered": result.funnel.considered,
-            "after_coreness": result.funnel.after_coreness,
-            "after_filter1": result.funnel.after_filter1,
-            "after_filter2": result.funnel.after_filter2,
-            "after_filter3": result.funnel.after_filter3,
-            "searched": result.funnel.searched,
-            "searched_mc": result.funnel.searched_mc,
-            "searched_kvc": result.funnel.searched_kvc,
-        },
+        "funnel": funnel_section(result.funnel, graph.n),
         "phases_seconds": dict(result.timers.seconds),
         "phases_work": dict(result.timers.work),
         "schedule": {

@@ -87,10 +87,16 @@ def _flatten_rows(rows) -> dict:
     repeated keys inside a section a stable ``#index`` suffix, so rows
     pair positionally-deterministically instead of silently shadowing
     each other.
+
+    ``trace`` sections are skipped entirely: trace capture is an
+    observability artifact, not a benchmark result, so a baseline
+    exported before (or after) tracing existed must still compare clean
+    against the other side.
     """
     if isinstance(rows, dict):
         triples = [(f"{section}:", row, i)
                    for section, section_rows in rows.items()
+                   if section != "trace"
                    for i, row in enumerate(
                        section_rows if isinstance(section_rows, list)
                        else [section_rows])]

@@ -3,12 +3,14 @@
 Usage::
 
     lazymc solve <dataset-or-file> [--threads N] [--timeout S] [--algo NAME]
-                 [--json] [--verify]
+                 [--json] [--verify] [--trace PATH]
+    lazymc trace summarize|export|validate <trace.jsonl>
     lazymc bench <artifact|all> [--datasets a,b,c] [--repeats N] [--timeout S]
     lazymc datasets
     lazymc characterize <dataset-or-file>
     lazymc serve [--socket PATH | --port N] [--workers N] [--cache-size N]
-    lazymc query <dataset-or-file> [--socket PATH | --port N] [...]
+                 [--trace-dir DIR]
+    lazymc query <dataset-or-file> [--socket PATH | --port N] [--trace-id ID]
 
 ``solve`` accepts either a registry dataset name or a path to an edge-list /
 DIMACS / METIS file (dispatch by extension: .col/.clq -> DIMACS,
@@ -43,13 +45,27 @@ def _cmd_solve(args) -> int:
     graph = _load_graph(args.target)
     if getattr(args, "faults", None):
         return _solve_with_faults(args, graph)
+    if args.trace and args.algo != "lazymc":
+        raise SystemExit("--trace supports --algo lazymc only")
     if args.algo == "lazymc":
         from . import LazyMCConfig, lazymc
 
+        tracer = None
+        if args.trace:
+            from .trace import TraceRecorder
+
+            tracer = TraceRecorder(sample_every=args.trace_sample)
+            tracer.set_meta(target=args.target, algo=args.algo,
+                            threads=args.threads, kernel=args.kernel)
         result = lazymc(graph, LazyMCConfig(threads=args.threads,
                                             max_work=args.max_work,
                                             max_seconds=args.timeout,
-                                            kernel_backend=args.kernel))
+                                            kernel_backend=args.kernel),
+                        tracer=tracer)
+        if tracer is not None:
+            tracer.write(args.trace)
+            print(f"trace: {args.trace} ({len(tracer.events)} events, "
+                  f"{tracer.dropped} dropped)", file=sys.stderr)
         if args.json:
             import json
 
@@ -106,8 +122,12 @@ def _solve_with_faults(args, graph: CSRGraph) -> int:
     from .faults import FaultPlan
     from .service.worker import JobEnv, run_job
 
+    if args.trace and args.algo != "lazymc":
+        raise SystemExit("--trace supports --algo lazymc only")
     plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
-    env = JobEnv(fault_plan=plan.for_job("cli", 0))
+    env = JobEnv(fault_plan=plan.for_job("cli", 0),
+                 trace_path=args.trace or None,
+                 trace_sample=args.trace_sample)
     try:
         record = run_job(graph, args.algo, args.threads, args.max_work,
                          args.timeout, args.kernel, env)
@@ -147,6 +167,8 @@ def _cmd_serve(args) -> int:
         max_retries=args.max_retries,
         job_deadline=args.job_deadline,
         fault_plan=plan,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
     ))
     if args.port is not None:
         server = CliqueServer(service, host=args.host, port=args.port,
@@ -202,7 +224,8 @@ def _cmd_query(args) -> int:
                                     threads=args.threads, max_work=args.max_work,
                                     max_seconds=args.timeout,
                                     use_cache=not args.no_cache,
-                                    kernel=args.kernel)
+                                    kernel=args.kernel,
+                                    trace_id=args.trace_id)
     except ProtocolError as exc:
         # A dropped/torn response (e.g. the server's drop:proto fault, or
         # a mid-request restart): a clean, retryable error — not a
@@ -216,9 +239,51 @@ def _cmd_query(args) -> int:
         print(f"clique = {response['clique']}")
         print(f"wall   = {response['wall_seconds']:.3f}s  "
               f"work = {response['work']}")
+        if response.get("trace_path"):
+            print(f"trace  = {response['trace_path']} (server-side)")
     else:
         print(f"error  = {response.get('error_type')}: {response.get('error')}")
     return 0 if response.get("ok") else 1
+
+
+def _cmd_trace(args) -> int:
+    """``lazymc trace summarize|export|validate``: offline trace tooling.
+
+    Operates on the JSON-lines streams written by ``solve --trace`` and
+    the service's trace directory; never re-runs a solve.
+    """
+    import json
+
+    from .errors import TraceError
+    from .trace import load_trace
+
+    try:
+        events = load_trace(args.path)
+    except (OSError, TraceError) as exc:
+        raise SystemExit(f"cannot read trace {args.path}: {exc}") from exc
+
+    if args.trace_command == "validate":
+        footer = events[-1]
+        print(f"{args.path}: valid ({len(events)} events, "
+              f"dropped={footer.get('dropped', 0)}, "
+              f"complete={footer.get('complete', False)})")
+        return 0
+    if args.trace_command == "summarize":
+        from .trace import summarize_events
+
+        print(json.dumps(summarize_events(events), indent=2, sort_keys=True))
+        return 0
+    # export
+    from .trace import write_chrome, write_collapsed
+
+    if args.format == "chrome":
+        default = f"{args.path}.chrome.json"
+        path = write_chrome(events, args.output or default)
+    else:
+        default = f"{args.path}.collapsed.txt"
+        path = write_collapsed(events, args.output or default)
+    print(f"wrote {path}")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -325,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "selection (lazymc only)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable record (any algorithm)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the deterministic search-tree trace "
+                        "(JSON lines, virtual work clock) to PATH "
+                        "(lazymc only; see docs/observability.md)")
+    p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                   help="record every Nth per-neighborhood trace event "
+                        "(default 1 = all)")
     p.add_argument("--verify", action="store_true",
                    help="check the clique is valid; non-zero exit on failure")
     p.add_argument("--faults", default=None, metavar="SPEC",
@@ -364,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "transport (chaos testing; see docs/robustness.md)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the --faults plan (default 0)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="capture per-job traces here for jobs submitted "
+                        "with a trace id (query --trace-id)")
+    p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                   help="trace sampling stride for captured jobs")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("query", help="query a running lazymc service")
@@ -382,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="MC sub-solver backend (lazymc only)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the server-side result cache")
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="capture this job's trace server-side under ID "
+                        "(needs `serve --trace-dir`)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--metrics", nargs="?", const="json",
                    choices=["json", "prometheus"], default=None,
@@ -389,6 +469,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="stop the server instead of solving")
     p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("trace", help="inspect or convert a recorded trace")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser("summarize",
+                         help="span/prune/incumbent summary as JSON")
+    ts.add_argument("path", help="trace JSON-lines file")
+    ts.set_defaults(fn=_cmd_trace)
+    te = tsub.add_parser("export",
+                         help="convert to Chrome trace JSON or a collapsed "
+                              "flamegraph stack file")
+    te.add_argument("path", help="trace JSON-lines file")
+    te.add_argument("--format", default="chrome", choices=["chrome", "flame"])
+    te.add_argument("--output", default=None,
+                    help="output file (default: derived from the input)")
+    te.set_defaults(fn=_cmd_trace)
+    tv = tsub.add_parser("validate",
+                         help="check schema, clock monotonicity and span "
+                              "pairing; non-zero exit on a malformed stream")
+    tv.add_argument("path", help="trace JSON-lines file")
+    tv.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("bench", help="regenerate a table/figure")
     p.add_argument("artifact", help="table1..3, fig1..7, or all")

@@ -32,6 +32,7 @@ from ..intersect.hashset import HopscotchSet
 from ..mc.bitkernel import BitMCSubgraphSolver
 from ..mc.branch_bound import MCSubgraphSolver
 from ..parallel.incumbent import IncumbentView
+from ..trace.tracer import NULL_TRACER, Tracer
 from ..vc.clique_via_vc import max_clique_via_vc
 from .config import LazyMCConfig
 from .lazygraph import LazyGraph
@@ -136,25 +137,34 @@ def _induced_bitmatrix(lazy: LazyGraph, candidates: np.ndarray, min_core: int,
 
 def neighbor_search(lazy: LazyGraph, v: int, view: IncumbentView,
                     config: LazyMCConfig, counters: Counters,
-                    funnel: FilterFunnel, budget: WorkBudget | None = None) -> None:
+                    funnel: FilterFunnel, budget: WorkBudget | None = None,
+                    tracer: Tracer = NULL_TRACER) -> None:
     """Search the right-neighborhood of relabelled vertex ``v`` (Alg. 8).
 
     Improvements are offered to ``view``; the caller publishes them.
+    ``tracer`` (sampled) records one ``neighborhood`` span per call plus
+    technique-tagged prune events at each early return.
     """
     if budget is not None:
         budget.check()
     funnel.considered += 1
     call_work_start = counters.work
+    span = tracer.span("neighborhood", sampled=True, v=v) \
+        if tracer.enabled else None
     try:
-        _neighbor_search_body(lazy, v, view, config, counters, funnel, budget)
+        _neighbor_search_body(lazy, v, view, config, counters, funnel, budget,
+                              tracer)
     finally:
         funnel.work_total += counters.work - call_work_start
+        if span is not None:
+            span.end()
 
 
 def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
                           config: LazyMCConfig, counters: Counters,
                           funnel: FilterFunnel,
-                          budget: WorkBudget | None) -> None:
+                          budget: WorkBudget | None,
+                          tracer: Tracer = NULL_TRACER) -> None:
     cstar = view.size
 
     # Line 2: coreness-filtered right-neighborhood.
@@ -164,6 +174,8 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
     # Filter 1 (line 3): the candidate set must be able to supply |C*|
     # vertices on top of v.
     if len(cand) < cstar:
+        if tracer.enabled:
+            tracer.prune("lazy_filter", v=v, cand=len(cand), cstar=cstar)
         return
     funnel.after_filter1 += 1
 
@@ -221,6 +233,10 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
         if len(cand) < cstar:
             if rnd == 0 and rounds == 1:
                 pass  # a lone val round is both the f2 and f3 stage
+            if tracer.enabled:
+                technique = "advance_filter" if final_round \
+                    else "early_exit_filter"
+                tracer.prune(technique, v=v, survivors=len(cand), cstar=cstar)
             return
         if rnd == 0:
             funnel.after_filter2 += 1
@@ -266,6 +282,9 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
         colors = greedy_coloring(adj, sorted(range(k), key=lambda i: -len(adj[i])),
                                  counters=counters)
         if colors and max(colors.values()) + 1 <= cstar:
+            if tracer.enabled:
+                tracer.prune("coloring_bound", v=v,
+                             colors=max(colors.values()) + 1, cstar=cstar)
             return
 
     funnel.searched += 1
@@ -280,6 +299,11 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
         funnel.searched_mc += 1
         counters.mc_subsolves += 1
 
+    if tracer.enabled:
+        backend = "kvc" if use_kvc else ("bits" if use_bits else "sets")
+        tracer.point("dispatch", v=v, backend=backend, k=k,
+                     density=round(density, 6))
+
     if use_bits:
         # Packed extraction is charged as filtering work, same as the
         # set-adjacency extraction on the other paths.
@@ -289,16 +313,19 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
     work_before = counters.work
     if use_kvc:
         found = max_clique_via_vc(adj, lower_bound=cstar - 1,
-                                  counters=counters, budget=budget)
+                                  counters=counters, budget=budget,
+                                  tracer=tracer)
     elif use_bits:
         solver = BitMCSubgraphSolver(counters=counters, budget=budget,
                                      root_bound=config.mc_root_bound,
-                                     reduce_universal=config.mc_reduce_universal)
+                                     reduce_universal=config.mc_reduce_universal,
+                                     tracer=tracer)
         found = solver.solve(mat, lower_bound=cstar - 1)
     else:
         solver = MCSubgraphSolver(counters=counters, budget=budget,
                                   root_bound=config.mc_root_bound,
-                                  reduce_universal=config.mc_reduce_universal)
+                                  reduce_universal=config.mc_reduce_universal,
+                                  tracer=tracer)
         found = solver.solve(adj, lower_bound=cstar - 1)
     sub_work = counters.work - work_before
     if use_kvc:
@@ -309,5 +336,7 @@ def _neighbor_search_body(lazy: LazyGraph, v: int, view: IncumbentView,
     funnel.density_work[bucket] = funnel.density_work.get(bucket, 0) + sub_work
 
     if found is not None and len(found) + 1 > cstar:
+        if tracer.enabled:
+            tracer.incumbent(len(found) + 1, source="neighbor_search", v=v)
         clique_relabelled = [v] + [int(cand[i]) for i in found]
         view.offer(lazy.to_original(clique_relabelled))

@@ -32,6 +32,7 @@ from ..graph.ordering import coreness_degree_order
 from ..instrument import Counters, PhaseTimer, PhaseTimers, WorkBudget
 from ..parallel.incumbent import Incumbent
 from ..parallel.scheduler import ScheduleReport, SimulatedScheduler
+from ..trace.tracer import NULL_TRACER, Tracer
 from .config import LazyMCConfig
 from .filtering import FilterFunnel
 from .heuristics import coreness_based_heuristic_search, degree_based_heuristic_search
@@ -71,7 +72,7 @@ class LazyMC:
     def solve(self, graph: CSRGraph, *,
               checkpointer: Checkpointer | None = None,
               resume: SearchCheckpoint | None = None,
-              fault_hook=None) -> MCResult:
+              fault_hook=None, tracer: Tracer | None = None) -> MCResult:
         """Run Alg. 1 on ``graph`` and return the full result record.
 
         ``checkpointer`` snapshots systematic-search progress so a killed
@@ -82,7 +83,10 @@ class LazyMC:
         checkpoint's value first so budgets and reported totals continue
         rather than restart.  ``fault_hook`` is threaded into the
         :class:`~repro.instrument.WorkBudget` (see :mod:`repro.faults`).
-        All three default to ``None``: the unadorned path is unchanged.
+        ``tracer`` records the search-tree event stream
+        (:mod:`repro.trace`); it observes counters but never mutates
+        them, so the default-off path is bit-identical.  All four default
+        to ``None``: the unadorned path is unchanged.
         """
         cfg = self.config
         counters = Counters()
@@ -92,9 +96,12 @@ class LazyMC:
         scheduler = SimulatedScheduler(cfg.threads, counters)
         budget = WorkBudget(cfg.max_work, cfg.max_seconds, counters,
                             fault_hook=fault_hook)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        tracer.bind(counters)
         t0 = time.perf_counter()
 
         if graph.n == 0:
+            tracer.finish()
             return self._result(graph, incumbent, 0, 0, 0, counters, timers,
                                 funnel, scheduler, t0, timed_out=False)
         # Any vertex is a 1-clique; gives the filters a floor.
@@ -104,7 +111,8 @@ class LazyMC:
         degeneracy = 0
         w_d = w_h = 1
         try:
-            with PhaseTimer(timers, "heuristic_degree", counters):
+            with PhaseTimer(timers, "heuristic_degree", counters), \
+                    tracer.span("phase:heuristic_degree"):
                 degree_based_heuristic_search(graph, incumbent, cfg, scheduler)
                 if cfg.local_search and incumbent.size:
                     from .local_search import improve_clique
@@ -113,8 +121,11 @@ class LazyMC:
                                               cfg.local_search_moves, counters)
                     incumbent.offer(improved)
             w_d = incumbent.size
+            if tracer.enabled and w_d > 1:
+                tracer.incumbent(w_d, source="heuristic_degree")
 
-            with PhaseTimer(timers, "kcore", counters):
+            with PhaseTimer(timers, "kcore", counters), \
+                    tracer.span("phase:kcore"):
                 core = coreness_degree_filtered(graph, incumbent.size)
                 # The decomposition examines every vertex and edge once;
                 # charge it honestly (the baselines' peels are charged the
@@ -130,7 +141,8 @@ class LazyMC:
             # (d+1)-clique, so d = |C*| - 1 dominates.
             degeneracy = max(int(core.max()), incumbent.size - 1)
 
-            with PhaseTimer(timers, "sort", counters):
+            with PhaseTimer(timers, "sort", counters), \
+                    tracer.span("phase:sort"):
                 order = coreness_degree_order(graph, core)
                 # Two stable counting-sort passes over the vertex array.
                 counters.elements_scanned += 2 * graph.n
@@ -139,12 +151,16 @@ class LazyMC:
 
             lazy = LazyGraph(graph, order, core, cfg, counters)
 
-            with PhaseTimer(timers, "prepopulate", counters):
+            with PhaseTimer(timers, "prepopulate", counters), \
+                    tracer.span("phase:prepopulate"):
                 lazy.prepopulate(cfg.prepopulate, incumbent.size)
 
-            with PhaseTimer(timers, "heuristic_coreness", counters):
+            with PhaseTimer(timers, "heuristic_coreness", counters), \
+                    tracer.span("phase:heuristic_coreness"):
                 coreness_based_heuristic_search(lazy, incumbent, cfg, scheduler)
             w_h = incumbent.size
+            if tracer.enabled and w_h > w_d:
+                tracer.incumbent(w_h, source="heuristic_coreness")
 
             if resume is not None and resume.work > counters.work:
                 # Fast-forward to the checkpoint's work so the resumed
@@ -154,13 +170,17 @@ class LazyMC:
                 # interval plus the (cheap, deterministic) prefix phases.
                 counters.elements_scanned += resume.work - counters.work
 
-            with PhaseTimer(timers, "systematic", counters):
+            with PhaseTimer(timers, "systematic", counters), \
+                    tracer.span("phase:systematic"):
                 systematic_search(lazy, incumbent, cfg, scheduler, funnel,
                                   budget, checkpointer=checkpointer,
-                                  resume=resume)
+                                  resume=resume, tracer=tracer)
         except BudgetExceeded:
             timed_out = True
 
+        if tracer.enabled:
+            tracer.incumbent(incumbent.size, source="final")
+            tracer.finish()
         return self._result(graph, incumbent, degeneracy, w_d, w_h, counters,
                             timers, funnel, scheduler, t0, timed_out)
 
@@ -188,12 +208,14 @@ class LazyMC:
 def lazymc(graph: CSRGraph, config: LazyMCConfig | None = None, *,
            checkpointer: Checkpointer | None = None,
            resume: SearchCheckpoint | None = None,
-           fault_hook=None) -> MCResult:
+           fault_hook=None, tracer: Tracer | None = None) -> MCResult:
     """Solve the maximum clique problem on ``graph`` with LazyMC.
 
     Exact (unless a budget is configured and trips, in which case
     ``result.timed_out`` is set and the incumbent is best-effort).  See
-    :meth:`LazyMC.solve` for the checkpoint/resume and fault-hook knobs.
+    :meth:`LazyMC.solve` for the checkpoint/resume, fault-hook and
+    tracer knobs.
     """
     return LazyMC(config).solve(graph, checkpointer=checkpointer,
-                                resume=resume, fault_hook=fault_hook)
+                                resume=resume, fault_hook=fault_hook,
+                                tracer=tracer)

@@ -21,6 +21,7 @@ from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
 from ..parallel.incumbent import Incumbent, IncumbentView
 from ..parallel.scheduler import SimulatedScheduler
+from ..trace.tracer import NULL_TRACER, Tracer
 from .config import LazyMCConfig
 from .filtering import FilterFunnel, neighbor_search
 from .lazygraph import LazyGraph
@@ -30,7 +31,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
                       config: LazyMCConfig, scheduler: SimulatedScheduler,
                       funnel: FilterFunnel, budget: WorkBudget | None = None,
                       checkpointer: Checkpointer | None = None,
-                      resume: SearchCheckpoint | None = None) -> None:
+                      resume: SearchCheckpoint | None = None,
+                      tracer: Tracer = NULL_TRACER) -> None:
     """Run Alg. 7 to completion (or until the budget trips).
 
     With a ``checkpointer``, progress is snapshotted after the seeding
@@ -42,6 +44,11 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
     structure is a deterministic function of the (graph, config) pair, so
     an identically prepared run partitions roots identically.  Both
     default to ``None``, leaving the original path byte-for-byte intact.
+
+    ``tracer`` records one span per seeding pass and per swept level;
+    inside each task its virtual clock is scoped to the task-local
+    counters (see :meth:`~repro.trace.tracer.TraceRecorder.task_clock`)
+    so event timestamps stay monotone across the simulated parallelism.
     """
     core = lazy.core
     n = lazy.n
@@ -65,8 +72,14 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
     def task(v: int, view: IncumbentView, counters: Counters) -> None:
         # Re-check eligibility against the task's visible incumbent: the
         # incumbent may have grown since the level was scheduled.
-        if core[v] >= view.size:
+        if core[v] < view.size:
+            return
+        if not tracer.enabled:
             neighbor_search(lazy, v, view, config, counters, funnel, budget)
+            return
+        with tracer.task_clock(counters):
+            neighbor_search(lazy, v, view, config, counters, funnel, budget,
+                            tracer=tracer)
 
     seed_done = False
     start_level = degeneracy
@@ -95,7 +108,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
                      for k in range(max(incumbent.size, 1), degeneracy + 2)
                      if k in first_at_level]
             if seeds:
-                scheduler.parfor(seeds, task, incumbent)
+                with tracer.span("seed", count=len(seeds)):
+                    scheduler.parfor(seeds, task, incumbent)
         seed_done = True
         if checkpointer is not None:
             checkpointer.offer(snapshot(start_level))
@@ -109,7 +123,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
             cursor = k
             vertices = levels.get(k)
             if vertices:
-                scheduler.parfor(vertices, task, incumbent)
+                with tracer.span("level", k=k, count=len(vertices)):
+                    scheduler.parfor(vertices, task, incumbent)
             cursor = k - 1
             if checkpointer is not None:
                 checkpointer.offer(snapshot(k - 1))

@@ -65,6 +65,14 @@ class CheckpointError(ReproError):
     """A search checkpoint could not be written or restored."""
 
 
+class TraceError(ReproError):
+    """A trace stream is malformed, truncated, or schema-incompatible.
+
+    Raised by :mod:`repro.trace.events` validation — never by the
+    recorder itself, which must not be able to fail a solve.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for query-service failures (queue, protocol, lifecycle)."""
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
 from ..intersect.bitmatrix import BitMatrix
+from ..trace.tracer import NULL_TRACER, Tracer
 from .branch_bound import peel_order
 
 
@@ -55,13 +56,15 @@ class BitMCSubgraphSolver:
     def __init__(self, counters: Counters | None = None,
                  budget: WorkBudget | None = None,
                  root_bound: str = "none",
-                 reduce_universal: bool = False):
+                 reduce_universal: bool = False,
+                 tracer: Tracer = NULL_TRACER):
         if root_bound not in ("none", "dsatur"):
             raise ValueError("root_bound must be 'none' or 'dsatur'")
         self.counters = counters if counters is not None else Counters()
         self.budget = budget
         self.root_bound = root_bound
         self.reduce_universal = reduce_universal
+        self.tracer = tracer
         self._rows: list[int] = []
         self._neg_rows: list[int] = []
         self._wpr = 0
@@ -76,6 +79,22 @@ class BitMCSubgraphSolver:
         Returns local ids of ``mat`` (or ``None`` as an exactness proof),
         identical in meaning to the sets backend's return value.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._solve_impl(mat, lower_bound, checkpointer, resume)
+        span = tracer.span("bits_subsolve", sampled=True, n=mat.n,
+                           bound=lower_bound)
+        try:
+            found = self._solve_impl(mat, lower_bound, checkpointer, resume)
+        finally:
+            span.end()
+        if found is None:
+            tracer.prune("bits_subsolve", n=mat.n, bound=lower_bound)
+        return found
+
+    def _solve_impl(self, mat: BitMatrix, lower_bound: int,
+                    checkpointer: Checkpointer | None,
+                    resume: SearchCheckpoint | None) -> list[int] | None:
         n = mat.n
         if n == 0:
             return None

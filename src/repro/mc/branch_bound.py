@@ -14,6 +14,7 @@ import heapq
 
 from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
+from ..trace.tracer import NULL_TRACER, Tracer
 from .coloring import color_sort, dsatur_coloring
 
 
@@ -80,13 +81,15 @@ class MCSubgraphSolver:
     def __init__(self, counters: Counters | None = None,
                  budget: WorkBudget | None = None,
                  root_bound: str = "none",
-                 reduce_universal: bool = False):
+                 reduce_universal: bool = False,
+                 tracer: Tracer = NULL_TRACER):
         if root_bound not in ("none", "dsatur"):
             raise ValueError("root_bound must be 'none' or 'dsatur'")
         self.counters = counters if counters is not None else Counters()
         self.budget = budget
         self.root_bound = root_bound
         self.reduce_universal = reduce_universal
+        self.tracer = tracer
         self._adj: list[set] = []
         self._best: list[int] = []
         self._best_size = 0
@@ -109,6 +112,22 @@ class MCSubgraphSolver:
         across runs with identical ``adj``, bound and configuration: the
         root order and coloring are deterministic functions of those.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._solve_impl(adj, lower_bound, checkpointer, resume)
+        span = tracer.span("mc_subsolve", sampled=True, n=len(adj),
+                           bound=lower_bound)
+        try:
+            found = self._solve_impl(adj, lower_bound, checkpointer, resume)
+        finally:
+            span.end()
+        if found is None:
+            tracer.prune("mc_subsolve", n=len(adj), bound=lower_bound)
+        return found
+
+    def _solve_impl(self, adj: list[set], lower_bound: int,
+                    checkpointer: Checkpointer | None,
+                    resume: SearchCheckpoint | None) -> list[int] | None:
         n = len(adj)
         if n == 0:
             return None

@@ -29,6 +29,13 @@ class JobSpec:
     :class:`~repro.graph.csr.CSRGraph`) must be set.  ``max_work`` is the
     deterministic work budget (scanned-element units); ``max_seconds`` the
     wall-clock safety net.  ``None`` defers to the service defaults.
+
+    ``trace_id`` requests per-job search-tree tracing (:mod:`repro.trace`):
+    when the service has a trace directory configured, the job's event
+    stream is written under this id.  It names an *observation*, not a
+    different computation, so it is excluded from :meth:`config_key` —
+    but a traced submission always runs (the cache read is bypassed) so
+    a trace is actually produced.
     """
 
     target: str | None = None
@@ -39,6 +46,7 @@ class JobSpec:
     max_seconds: float | None = None
     use_cache: bool = True
     kernel: str = "sets"
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if (self.target is None) == (self.graph is None):
@@ -50,6 +58,13 @@ class JobSpec:
             raise ValueError("threads must be >= 1")
         if self.kernel not in ("sets", "bits", "auto"):
             raise ValueError("kernel must be 'sets', 'bits' or 'auto'")
+        if self.trace_id is not None:
+            if not self.trace_id:
+                raise ValueError("trace_id must be a non-empty string")
+            # The id becomes a file name under the service's trace dir;
+            # reject anything that could escape it.
+            if any(c in self.trace_id for c in "/\\") or ".." in self.trace_id:
+                raise ValueError("trace_id must not contain path separators")
 
     def config_key(self) -> str:
         """Canonical string of every result-affecting knob except the graph.
@@ -89,6 +104,11 @@ class JobResult:
     ``attempts`` and ``resumed`` are the fault-tolerance trail: how many
     times the supervised pool ran the job, and whether the final attempt
     continued from a checkpoint a previous attempt left behind.
+
+    ``funnel`` is the per-stage filter-funnel section (zeroed for
+    baselines); ``trace_id``/``trace_path``/``trace_summary`` are set
+    only on results that actually produced a trace — cached copies of a
+    result drop them, since a cache hit performed no traced run.
     """
 
     ok: bool
@@ -105,6 +125,10 @@ class JobResult:
     fingerprint: str = ""
     attempts: int = 1
     resumed: bool = False
+    funnel: dict | None = None
+    trace_id: str | None = None
+    trace_path: str | None = None
+    trace_summary: dict | None = None
     error_type: str | None = None
     error: str | None = None
 

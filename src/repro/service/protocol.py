@@ -36,7 +36,8 @@ OPS = ("solve", "metrics", "ping", "shutdown")
 #: Keys a solve request may carry (anything else is a client bug worth
 #: flagging loudly rather than silently ignoring).
 _SOLVE_KEYS = {"op", "target", "edges", "algo", "threads",
-               "max_work", "max_seconds", "use_cache", "kernel"}
+               "max_work", "max_seconds", "use_cache", "kernel",
+               "trace_id"}
 
 
 def encode_message(message: dict) -> bytes:
@@ -120,8 +121,14 @@ class ServiceClient:
     def solve(self, target: str | None = None, *, edges=None,
               algo: str = "lazymc", threads: int = 1,
               max_work: int | None = None, max_seconds: float | None = None,
-              use_cache: bool = True, kernel: str = "sets") -> dict:
-        """Convenience wrapper building a ``solve`` request."""
+              use_cache: bool = True, kernel: str = "sets",
+              trace_id: str | None = None) -> dict:
+        """Convenience wrapper building a ``solve`` request.
+
+        ``trace_id`` asks the server to capture this job's search-tree
+        trace under that id (requires the server to run with a trace
+        directory; see ``lazymc serve --trace-dir``).
+        """
         message: dict = {"op": "solve", "algo": algo, "threads": threads,
                          "use_cache": use_cache, "kernel": kernel}
         if target is not None:
@@ -132,6 +139,8 @@ class ServiceClient:
             message["max_work"] = max_work
         if max_seconds is not None:
             message["max_seconds"] = max_seconds
+        if trace_id is not None:
+            message["trace_id"] = trace_id
         return self.request(validate_request(message))
 
     def metrics(self, format: str = "json") -> dict:

@@ -44,6 +44,7 @@ def _spec_from_message(message: dict) -> JobSpec:
         max_seconds=message.get("max_seconds"),
         use_cache=bool(message.get("use_cache", True)),
         kernel=message.get("kernel", "sets"),
+        trace_id=message.get("trace_id"),
     )
 
 

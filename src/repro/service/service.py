@@ -60,6 +60,13 @@ class ServiceConfig:
     resumes instead of restarting.  ``fault_plan`` injects seeded faults
     (:mod:`repro.faults`) into every job — for chaos tests and repro, not
     production.
+
+    ``trace_dir`` enables per-job tracing: a job submitted with a
+    ``trace_id`` writes its event stream to
+    ``<trace_dir>/<trace_id>.trace.jsonl`` (flushed on every checkpoint,
+    so it survives worker crashes).  ``trace_sample`` is the recorder's
+    sampling stride for per-neighborhood events.  With ``trace_dir``
+    unset, trace requests are ignored and jobs run exactly as before.
     """
 
     workers: int = 0
@@ -76,6 +83,8 @@ class ServiceConfig:
     circuit_cooldown: float = 30.0
     checkpoint_interval_work: int = 50_000
     fault_plan: FaultPlan | None = None
+    trace_dir: str | None = None
+    trace_sample: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -88,6 +97,8 @@ class ServiceConfig:
             raise ValueError("job_deadline must be positive")
         if self.checkpoint_interval_work < 0:
             raise ValueError("checkpoint_interval_work must be >= 0")
+        if self.trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
 
 
 class CliqueService:
@@ -131,8 +142,12 @@ class CliqueService:
             return self._completed(spec, JobResult.failure(exc))
         spec = self._with_default_budgets(spec)
         key = (fp, spec.config_key())
+        trace_path = self._trace_path(spec)
 
-        if spec.use_cache:
+        # A traced submission must actually run — serving a cached result
+        # would produce no trace — so the cache read is bypassed (the
+        # result is still *written* back, stripped of its trace fields).
+        if spec.use_cache and trace_path is None:
             hit = self.results.get(key)
             if hit is not None:
                 self.metrics.inc("cache_hits")
@@ -153,11 +168,14 @@ class CliqueService:
                 inner = self.pool.submit(
                     run_job, graph, spec.algo, spec.threads, spec.max_work,
                     spec.max_seconds, spec.kernel, label=spec.algo,
-                    env_factory=self._env_factory())
+                    env_factory=self._env_factory(trace_path))
             else:
+                env = JobEnv(trace_path=trace_path,
+                             trace_sample=self.config.trace_sample) \
+                    if trace_path is not None else None
                 inner = self.pool.submit(run_job, graph, spec.algo,
                                          spec.threads, spec.max_work,
-                                         spec.max_seconds, spec.kernel)
+                                         spec.max_seconds, spec.kernel, env)
         except RuntimeError as exc:  # pool already shut down
             self.metrics.inc("jobs_failed")
             return self._completed(spec, JobResult.failure(exc), fp)
@@ -187,13 +205,15 @@ class CliqueService:
             changes["max_seconds"] = self.config.default_max_seconds
         return dataclasses.replace(spec, **changes) if changes else spec
 
-    def _env_factory(self):
+    def _env_factory(self, trace_path: str | None = None):
         """Per-job factory of per-attempt :class:`JobEnv` values.
 
         The checkpoint path is stable across a job's attempts (resume
         depends on it); the fault plan is salted per ``(job, attempt)`` so
         probabilistic faults hit independent draws on every retry instead
-        of deterministically re-firing.
+        of deterministically re-firing.  The trace path is likewise
+        stable: a retried attempt overwrites the crashed attempt's
+        stream, so the id always names the authoritative (last) run.
         """
         with self._counter_lock:
             self._job_counter += 1
@@ -202,12 +222,22 @@ class CliqueService:
             if self._checkpoint_dir else None
         plan = self.config.fault_plan
         interval = self.config.checkpoint_interval_work
+        sample = self.config.trace_sample
 
         def factory(attempt: int) -> JobEnv:
             salted = plan.for_job(token, attempt) if plan else None
             return JobEnv(fault_plan=salted, checkpoint_path=path,
-                          checkpoint_interval_work=interval, attempt=attempt)
+                          checkpoint_interval_work=interval, attempt=attempt,
+                          trace_path=trace_path, trace_sample=sample)
         return factory
+
+    def _trace_path(self, spec: JobSpec) -> str | None:
+        """Where this job's trace goes, or ``None`` when not tracing."""
+        if spec.trace_id is None or self.config.trace_dir is None:
+            return None
+        os.makedirs(self.config.trace_dir, exist_ok=True)
+        return os.path.join(self.config.trace_dir,
+                            f"{spec.trace_id}.trace.jsonl")
 
     def _resolve(self, spec: JobSpec) -> tuple[CSRGraph, str]:
         """Target/graph -> (graph, fingerprint), through the graph LRU."""
@@ -244,14 +274,50 @@ class CliqueService:
             if result.resumed:
                 self.metrics.inc("checkpoint_resumes")
             self.metrics.observe("job_work", result.work, WORK_BUCKETS)
+            if result.trace_path:
+                result.trace_id = spec.trace_id
+            self._account_observability(result)
             if spec.use_cache:
-                self.results.put(key, result)
+                # Trace fields describe *this* run; a future cache hit
+                # performed no traced run, so the cached copy drops them.
+                self.results.put(key, dataclasses.replace(
+                    result, trace_id=None, trace_path=None,
+                    trace_summary=None))
         else:
             self.metrics.inc("jobs_failed")
         self.metrics.observe("job_wall_seconds",
                              time.perf_counter() - t0, LATENCY_BUCKETS)
         self.metrics.set_gauge("queue_depth", self.pool.pending)
         outer.set_result(result)
+
+    def _account_observability(self, result: JobResult) -> None:
+        """Fold a result's funnel and trace summary into the registry.
+
+        Funnel stage survivors accumulate as counters (totals across
+        jobs); the per-mille normalization of the *latest* job lands in
+        gauges (a rate, not a total); recorded span work feeds per-span
+        histograms.  Span names are sanitized for the Prometheus
+        exposition (``:`` is not a valid metric-name character).
+        """
+        f = result.funnel
+        if f:
+            for stage in ("considered", "after_coreness", "after_filter1",
+                          "after_filter2", "after_filter3", "searched",
+                          "searched_mc", "searched_kvc"):
+                count = int(f.get(stage, 0))
+                if count:
+                    self.metrics.inc(f"funnel_{stage}", count)
+            for stage, value in (f.get("per_mille") or {}).items():
+                self.metrics.set_gauge(f"funnel_per_mille_{stage}", value)
+        summary = result.trace_summary
+        if summary:
+            self.metrics.inc("traces_captured")
+            if summary.get("dropped"):
+                self.metrics.inc("trace_events_dropped", summary["dropped"])
+            for name, span in (summary.get("spans") or {}).items():
+                safe = name.replace(":", "_")
+                self.metrics.observe(f"trace_span_work_{safe}",
+                                     span.get("work", 0), WORK_BUCKETS)
 
     def _completed(self, spec: JobSpec, result: JobResult,
                    fp: str = "") -> JobHandle:

@@ -47,12 +47,21 @@ class JobEnv:
     ``fault_plan`` is already salted for this ``(job, attempt)``;
     ``checkpoint_path`` is stable across a job's attempts (that is what
     makes resume work); ``attempt`` is 0 for the first run.
+
+    ``trace_path`` arms per-job search-tree tracing (:mod:`repro.trace`,
+    ``lazymc`` only): the event stream is flushed atomically to this path
+    on every checkpoint and once more when the solve finishes, so a
+    crashed attempt still leaves a valid (``complete: false``) trace on
+    disk.  ``trace_sample`` is the recorder's deterministic sampling
+    stride over per-neighborhood events.
     """
 
     fault_plan: FaultPlan | None = None
     checkpoint_path: str | None = None
     checkpoint_interval_work: int = 0
     attempt: int = 0
+    trace_path: str | None = None
+    trace_sample: int = 1
 
 
 def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
@@ -63,33 +72,59 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
     """Run ``algo`` on ``graph`` and return a uniform record.
 
     The record always carries ``algo``, ``omega``, ``clique``,
-    ``wall_seconds``, ``timed_out``, ``exact`` and ``work`` regardless of
-    algorithm (the CLI's ``solve --json`` shares this contract), plus
-    ``resumed`` when a checkpointed attempt continued a previous one.
-    Checkpoint/resume, ``solve``-site faults and the ``kernel`` backend
-    selection ("sets" | "bits" | "auto") are wired for ``lazymc`` only —
-    the baselines manage their own budgets and solvers.
+    ``wall_seconds``, ``timed_out``, ``exact``, ``work`` and a ``funnel``
+    section (zeroed for baselines, which have no filter funnel)
+    regardless of algorithm (the CLI's ``solve --json`` shares this
+    contract), plus ``resumed`` when a checkpointed attempt continued a
+    previous one.  Checkpoint/resume, ``solve``-site faults, tracing and
+    the ``kernel`` backend selection ("sets" | "bits" | "auto") are wired
+    for ``lazymc`` only — the baselines manage their own budgets and
+    solvers.
     """
     resumed = False
+    tracer = None
     if algo == "lazymc":
         checkpointer = None
         resume = None
         fault_hook = None
+        sink = None
+        if env is not None and env.trace_path:
+            from ..trace import TraceRecorder
+
+            tracer = TraceRecorder(sample_every=env.trace_sample)
+            tracer.set_meta(algo=algo, n=graph.n, m=graph.m,
+                            threads=threads, kernel=kernel,
+                            attempt=env.attempt)
         if env is not None:
             if env.checkpoint_path:
                 resume = load_checkpoint(env.checkpoint_path)
                 resumed = resume is not None
-                checkpointer = Checkpointer(
-                    _sink_to(env.checkpoint_path),
-                    interval_work=env.checkpoint_interval_work)
+                sink = _sink_to(env.checkpoint_path)
             if env.fault_plan is not None and env.fault_plan.has_site("solve"):
                 fault_hook = env.fault_plan.on_budget_tick
-        result = lazymc(graph, LazyMCConfig(threads=threads,
-                                            max_work=max_work,
-                                            max_seconds=max_seconds,
-                                            kernel_backend=kernel),
-                        checkpointer=checkpointer, resume=resume,
-                        fault_hook=fault_hook)
+        if tracer is not None:
+            # Flush the trace whenever a checkpoint lands (crash
+            # survival: the stream on disk is always valid and at most
+            # one checkpoint interval stale).  Without a checkpoint
+            # path the trace still rides the checkpoint cadence — the
+            # sink is then the flush alone.
+            sink = _flushing_sink(sink, tracer, env.trace_path)
+        if sink is not None:
+            checkpointer = Checkpointer(
+                sink, interval_work=env.checkpoint_interval_work)
+        try:
+            result = lazymc(graph, LazyMCConfig(threads=threads,
+                                                max_work=max_work,
+                                                max_seconds=max_seconds,
+                                                kernel_backend=kernel),
+                            checkpointer=checkpointer, resume=resume,
+                            fault_hook=fault_hook, tracer=tracer)
+        finally:
+            if tracer is not None:
+                # Written even when an injected fault escapes: a crashed
+                # attempt leaves a valid, complete=false stream behind.
+                with contextlib.suppress(OSError):
+                    tracer.write(env.trace_path)
     else:
         from ..baselines import domega, mcbrb, pmc
 
@@ -103,7 +138,9 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
             result = mcbrb(graph, max_work=max_work, max_seconds=max_seconds)
         else:
             raise ValueError(f"unknown algo {algo!r}")
-    return {
+    from ..analysis import funnel_section
+
+    record = {
         "algo": algo,
         "n": graph.n,
         "m": graph.m,
@@ -114,7 +151,14 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
         "exact": not result.timed_out,
         "work": result.counters.work,
         "resumed": resumed,
+        "funnel": funnel_section(getattr(result, "funnel", None), graph.n),
     }
+    if tracer is not None:
+        from ..trace import summarize_events
+
+        record["trace_path"] = env.trace_path
+        record["trace_summary"] = summarize_events(tracer.all_events())
+    return record
 
 
 def _sink_to(path: str):
@@ -122,6 +166,22 @@ def _sink_to(path: str):
     only thing crossing the process boundary is the path string)."""
     def sink(checkpoint):
         save_checkpoint(checkpoint, path)
+    return sink
+
+
+def _flushing_sink(inner, tracer, trace_path: str):
+    """Chain a trace flush behind a checkpoint sink (or stand alone).
+
+    The checkpoint write happens first so the durable pair (checkpoint,
+    trace) on disk is never *ahead* of the trace stream; the flush is
+    atomic (temp + rename) so a crash mid-flush leaves the previous
+    valid stream.
+    """
+    def sink(checkpoint):
+        if inner is not None:
+            inner(checkpoint)
+        with contextlib.suppress(OSError):
+            tracer.write(trace_path)
     return sink
 
 

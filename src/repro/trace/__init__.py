@@ -1,0 +1,48 @@
+"""repro.trace — deterministic search-tree tracing and work attribution.
+
+The observability layer over the solver and the service: span/event
+tracing on a virtual clock measured in counted work units (bit-reproducible
+across machines), exporters to Chrome trace-event JSON and collapsed-stack
+flamegraphs, and the :class:`WorkAttribution` ledger decomposing spent and
+avoided work per technique.  See docs/observability.md.
+
+Quickstart::
+
+    from repro import lazymc
+    from repro.trace import TraceRecorder
+
+    recorder = TraceRecorder()
+    result = lazymc(graph, tracer=recorder)
+    recorder.write("solve.trace.jsonl")
+"""
+
+from .attribution import WorkAttribution, summarize_events, work_attribution
+from .events import (
+    SCHEMA_VERSION,
+    TECHNIQUES,
+    load_trace,
+    parse_jsonl,
+    validate_event,
+    validate_events,
+)
+from .export import to_chrome, to_collapsed, write_chrome, write_collapsed
+from .tracer import NULL_TRACER, TraceRecorder, Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceRecorder",
+    "NULL_TRACER",
+    "WorkAttribution",
+    "work_attribution",
+    "summarize_events",
+    "SCHEMA_VERSION",
+    "TECHNIQUES",
+    "load_trace",
+    "parse_jsonl",
+    "validate_event",
+    "validate_events",
+    "to_chrome",
+    "to_collapsed",
+    "write_chrome",
+    "write_collapsed",
+]

@@ -1,0 +1,149 @@
+"""Tests for trace propagation through the query service.
+
+A ``trace_id`` names an observation, not a different computation: the
+cache key ignores it, a traced submission always runs, and the written
+stream survives worker crashes because it is flushed on every checkpoint.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.service import CliqueService, JobSpec, ServiceConfig
+from repro.trace import load_trace, summarize_events
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(workers=0, trace_dir=str(tmp_path / "traces"))
+    defaults.update(overrides)
+    return CliqueService(ServiceConfig(**defaults))
+
+
+class TestSpecValidation:
+    def test_trace_id_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            JobSpec(target="CAroad", trace_id="")
+
+    @pytest.mark.parametrize("bad", ["a/b", "a\\b", "..", "x/../y"])
+    def test_trace_id_rejects_path_escapes(self, bad):
+        with pytest.raises(ValueError):
+            JobSpec(target="CAroad", trace_id=bad)
+
+    def test_trace_id_not_part_of_cache_key(self):
+        plain = JobSpec(target="CAroad")
+        traced = JobSpec(target="CAroad", trace_id="t1")
+        assert plain.config_key() == traced.config_key()
+
+
+class TestTracedJobs:
+    def test_traced_job_writes_valid_trace(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            result = svc.solve(JobSpec(target="WormNet", trace_id="worm"))
+            assert result.ok and result.omega == 24
+            assert result.trace_id == "worm"
+            assert result.trace_path.endswith("worm.trace.jsonl")
+            events = load_trace(result.trace_path)  # validates en route
+            summary = summarize_events(events)
+            assert summary["complete"] is True
+            assert summary["final_vt"] == result.work
+            assert result.trace_summary["final_vt"] == result.work
+
+    def test_trace_does_not_change_the_answer(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            plain = svc.solve(JobSpec(target="WormNet", use_cache=False))
+            traced = svc.solve(JobSpec(target="WormNet", use_cache=False,
+                                       trace_id="t"))
+            assert traced.omega == plain.omega
+            assert traced.clique == plain.clique
+            assert traced.work == plain.work
+
+    def test_without_trace_dir_requests_are_ignored(self, tmp_path):
+        with CliqueService(ServiceConfig(workers=0)) as svc:
+            result = svc.solve(JobSpec(target="CAroad", trace_id="t"))
+            assert result.ok
+            assert result.trace_id is None and result.trace_path is None
+
+    def test_funnel_section_present_for_all_algos(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            lazy = svc.solve(JobSpec(target="WormNet"))
+            base = svc.solve(JobSpec(target="WormNet", algo="mcbrb"))
+            assert lazy.funnel["considered"] > 0
+            for stage, value in lazy.funnel["per_mille"].items():
+                assert 0 <= value <= 1000, stage
+            # Baselines report the same shape, zeroed: uniform consumers.
+            assert set(base.funnel) == set(lazy.funnel)
+            assert base.funnel["considered"] == 0
+
+
+class TestCacheInteraction:
+    def test_traced_submission_bypasses_cache_read(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            first = svc.solve(JobSpec(target="CAroad"))
+            traced = svc.solve(JobSpec(target="CAroad", trace_id="t"))
+            assert not first.cached
+            assert not traced.cached          # ran despite the warm cache
+            assert traced.trace_path is not None
+            assert svc.metrics.counter("cache_hits") == 0
+
+    def test_cached_copy_is_stripped_of_trace_fields(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            traced = svc.solve(JobSpec(target="CAroad", trace_id="t"))
+            hit = svc.solve(JobSpec(target="CAroad"))
+            assert traced.trace_path is not None
+            assert hit.cached                 # the traced run fed the cache
+            assert hit.trace_id is None
+            assert hit.trace_path is None
+            assert hit.trace_summary is None
+            assert hit.funnel == traced.funnel  # funnel IS part of the result
+
+
+class TestObservabilityMetrics:
+    def test_funnel_and_trace_metrics_accumulate(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            result = svc.solve(JobSpec(target="WormNet", trace_id="t"))
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["traces_captured"] == 1
+            assert counters["funnel_considered"] == \
+                result.funnel["considered"]
+            assert counters["funnel_after_filter1"] == \
+                result.funnel["after_filter1"]
+            assert svc.metrics.gauge("funnel_per_mille_filter1") == \
+                result.funnel["per_mille"]["filter1"]
+
+    def test_prometheus_page_has_sanitized_span_names(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            svc.solve(JobSpec(target="WormNet", trace_id="t"))
+            page = svc.to_prometheus()
+            assert "lazymc_funnel_considered" in page
+            assert "lazymc_traces_captured 1" in page
+            # span "phase:systematic" must surface with a legal name
+            assert "lazymc_trace_span_work_phase_systematic_count 1" in page
+            assert "phase:systematic" not in page
+
+
+class TestSupervisedTracing:
+    def test_trace_survives_a_dropped_attempt(self, tmp_path):
+        # drop:proto:attempt=0 completes the solve, then loses the result;
+        # the retry resumes from the checkpoint.  The trace file must still
+        # exist, validate, and describe the authoritative (last) attempt.
+        svc = make_service(
+            tmp_path, supervise=True, max_retries=3, retry_backoff=0.01,
+            checkpoint_interval_work=0,
+            fault_plan=FaultPlan.parse("drop:proto:attempt=0", seed=0))
+        try:
+            result = svc.solve(JobSpec(target="WormNet", use_cache=False,
+                                       trace_id="survivor"), timeout=300)
+            assert result.ok and result.omega == 24
+            assert result.resumed and result.attempts == 2
+            events = load_trace(result.trace_path)
+            assert summarize_events(events)["complete"] is True
+            assert result.trace_summary["final_vt"] == result.work
+        finally:
+            svc.shutdown()
+
+    def test_sampling_stride_thins_the_stream(self, tmp_path):
+        with make_service(tmp_path) as dense_svc:
+            dense = dense_svc.solve(JobSpec(target="WormNet", trace_id="t"))
+        with make_service(tmp_path / "s", trace_sample=50) as sparse_svc:
+            sparse = sparse_svc.solve(JobSpec(target="WormNet", trace_id="t"))
+        assert sparse.trace_summary["events"] < dense.trace_summary["events"]
+        load_trace(sparse.trace_path)

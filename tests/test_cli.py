@@ -79,6 +79,89 @@ class TestSolveFlags:
         assert "timed_out = True" in capsys.readouterr().out
 
 
+class TestTraceFlags:
+    def test_solve_trace_writes_valid_stream(self, tmp_path, capsys):
+        from repro.trace import load_trace, summarize_events
+
+        path = tmp_path / "worm.trace.jsonl"
+        assert main(["solve", "WormNet", "--trace", str(path)]) == 0
+        assert "trace:" in capsys.readouterr().err
+        summary = summarize_events(load_trace(path))
+        assert summary["complete"] is True
+        assert "phase:systematic" in summary["spans"]
+
+    def test_trace_rejected_for_baselines(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["solve", "CAroad", "--algo", "pmc",
+                  "--trace", str(tmp_path / "t.jsonl")])
+
+    def test_json_funnel_section_lazymc(self, capsys):
+        import json
+
+        assert main(["solve", "WormNet", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        funnel = record["funnel"]
+        assert funnel["considered"] > 0
+        assert "per_mille" in funnel
+
+    def test_json_funnel_section_zeroed_for_baselines(self, capsys):
+        import json
+
+        assert main(["solve", "CAroad", "--algo", "mcbrb", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["funnel"]["considered"] == 0
+        assert "per_mille" in record["funnel"]
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        # WormNet's systematic sweep actually prunes; dblp's heuristic
+        # closes the instance and would leave an (empty-funnel) trace.
+        path = tmp_path / "t.trace.jsonl"
+        assert main(["solve", "WormNet", "--trace", str(path)]) == 0
+        return path
+
+    def test_validate(self, trace_file, capsys):
+        assert main(["trace", "validate", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "complete=True" in out
+
+    def test_summarize_is_json(self, trace_file, capsys):
+        import json
+
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["complete"] is True
+        assert summary["prunes"]
+
+    def test_export_chrome_default_name(self, trace_file, capsys):
+        import json
+
+        assert main(["trace", "export", str(trace_file)]) == 0
+        exported = trace_file.parent / (trace_file.name + ".chrome.json")
+        assert "wrote" in capsys.readouterr().out
+        assert "traceEvents" in json.loads(exported.read_text())
+
+    def test_export_flame_to_output(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "flame.txt"
+        assert main(["trace", "export", str(trace_file),
+                     "--format", "flame", "--output", str(out)]) == 0
+        first = out.read_text().splitlines()[0]
+        stack, weight = first.rsplit(" ", 1)
+        assert int(weight) > 0
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "validate", str(tmp_path / "absent.jsonl")])
+
+    def test_corrupt_file_exits(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(bad)])
+
+
 class TestServeQuery:
     def test_round_trip_via_cli(self, tmp_path, capsys):
         import json

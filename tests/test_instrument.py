@@ -38,6 +38,43 @@ class TestCounters:
         assert "elements_scanned=3" in repr(c)
         assert "branch_nodes" not in repr(c)
 
+    def test_merge_round_trips_every_field(self):
+        # Walk the dataclass fields so a future counter added to Counters
+        # cannot be silently dropped by merge: every field set to a
+        # distinct nonzero value must come through doubled.
+        from dataclasses import fields
+
+        names = [f.name for f in fields(Counters)]
+        assert "words_scanned" in names  # the bit-kernel work unit
+        a = Counters(**{name: i + 1 for i, name in enumerate(names)})
+        b = Counters(**{name: i + 1 for i, name in enumerate(names)})
+        a.merge(b)
+        for i, name in enumerate(names):
+            assert getattr(a, name) == 2 * (i + 1), name
+
+    def test_copy_round_trips_every_field(self):
+        from dataclasses import fields
+
+        names = [f.name for f in fields(Counters)]
+        a = Counters(**{name: i + 1 for i, name in enumerate(names)})
+        b = a.copy()
+        assert b.as_dict() == a.as_dict()
+        for name in names:  # fully independent storage
+            setattr(b, name, 0)
+        for i, name in enumerate(names):
+            assert getattr(a, name) == i + 1, name
+
+    def test_as_dict_covers_every_field(self):
+        from dataclasses import fields
+
+        d = Counters().as_dict()
+        assert set(d) == {f.name for f in fields(Counters)}
+
+    def test_words_scanned_counts_as_work(self):
+        c = Counters(elements_scanned=3, words_scanned=4, branch_nodes=2,
+                     hash_inserts=1)
+        assert c.work == 10
+
 
 class TestPhaseTimers:
     def test_add_and_total(self):
@@ -74,6 +111,51 @@ class TestPhaseTimers:
         with PhaseTimer(timers, "p"):
             pass
         assert timers.work["p"] == 0
+
+    def test_phase_timer_nesting_double_charges_inner_work(self):
+        # The documented contract: work attribution is the counter delta
+        # across the phase, so nested phases must not overlap — the inner
+        # phase's work is charged to BOTH phases when they do.  This test
+        # pins that semantics; sequential phases (as the solver uses them)
+        # partition work exactly.
+        timers = PhaseTimers()
+        counters = Counters()
+        with PhaseTimer(timers, "outer", counters):
+            counters.elements_scanned += 5
+            with PhaseTimer(timers, "inner", counters):
+                counters.elements_scanned += 7
+            counters.elements_scanned += 3
+        assert timers.work["inner"] == 7
+        assert timers.work["outer"] == 15  # includes the inner 7
+
+    def test_phase_timer_sequential_phases_partition_work(self):
+        timers = PhaseTimers()
+        counters = Counters()
+        with PhaseTimer(timers, "a", counters):
+            counters.elements_scanned += 5
+        with PhaseTimer(timers, "b", counters):
+            counters.words_scanned += 7
+        assert timers.work["a"] == 5
+        assert timers.work["b"] == 7
+        assert sum(timers.work.values()) == counters.work
+
+    def test_phase_timer_reentrant_same_phase_accumulates(self):
+        timers = PhaseTimers()
+        counters = Counters()
+        for add in (4, 6):
+            with PhaseTimer(timers, "again", counters):
+                counters.elements_scanned += add
+        assert timers.work["again"] == 10
+        assert list(timers.work) == ["again"]  # one entry, accumulated
+
+    def test_phase_timer_records_on_exception(self):
+        timers = PhaseTimers()
+        counters = Counters()
+        with pytest.raises(RuntimeError):
+            with PhaseTimer(timers, "burst", counters):
+                counters.elements_scanned += 9
+                raise RuntimeError("boom")
+        assert timers.work["burst"] == 9
 
 
 class TestWorkBudget:

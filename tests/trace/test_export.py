@@ -1,0 +1,112 @@
+"""Tests for the Chrome and collapsed-stack trace exporters."""
+
+import json
+
+from repro import lazymc
+from repro.datasets import load
+from repro.instrument import Counters
+from repro.trace import (
+    TraceRecorder,
+    to_chrome,
+    to_collapsed,
+    write_chrome,
+    write_collapsed,
+)
+from repro.trace.export import spans_of
+
+
+def make_trace():
+    """A small hand-built trace: outer(work 10) > inner(work 4), one of each
+    instant kind, plus a span left open by sampling's sibling splice."""
+    c = Counters()
+    rec = TraceRecorder(c)
+    with rec.span("outer"):
+        c.elements_scanned += 3
+        rec.prune("lazy_filter", v=7)
+        with rec.span("inner"):
+            c.elements_scanned += 4
+            rec.incumbent(5)
+        c.elements_scanned += 3
+        rec.point("dispatch", backend="kvc")
+    rec.finish()
+    return rec
+
+
+class TestSpanPairing:
+    def test_pairs_and_durations(self):
+        spans = spans_of(make_trace().all_events())
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["outer"]["end"] - by_name["outer"]["begin"] == 10
+        assert by_name["inner"]["end"] - by_name["inner"]["begin"] == 4
+        assert by_name["inner"]["parent"] == by_name["outer"]["sid"]
+
+    def test_open_span_closed_at_final_vt(self):
+        c = Counters()
+        rec = TraceRecorder(c)
+        rec.span("open")
+        c.elements_scanned += 9
+        rec.point("mark")  # advances the last observed vt
+        spans = spans_of(rec.all_events())
+        assert spans[0]["end"] == 9
+
+    def test_end_attrs_merged_into_record(self):
+        rec = TraceRecorder(Counters())
+        span = rec.span("s", n=3)
+        span.end(found=True)
+        (record,) = spans_of(rec.all_events())
+        assert record["attrs"] == {"n": 3, "found": True}
+
+
+class TestChromeExport:
+    def test_structure(self):
+        doc = to_chrome(make_trace().all_events())
+        assert doc["otherData"]["clock"] == "work-units"
+        by_ph = {}
+        for e in doc["traceEvents"]:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert {e["name"] for e in by_ph["X"]} == {"outer", "inner"}
+        assert {e["name"] for e in by_ph["i"]} == \
+            {"prune:lazy_filter", "dispatch"}
+        assert by_ph["C"][0]["args"] == {"size": 5}
+        inner = next(e for e in by_ph["X"] if e["name"] == "inner")
+        assert inner["ts"] == 3 and inner["dur"] == 4
+
+    def test_written_file_is_json(self, tmp_path):
+        path = write_chrome(make_trace().all_events(), tmp_path / "t.json")
+        doc = json.loads((tmp_path / "t.json").read_text())
+        assert path.endswith("t.json")
+        assert "traceEvents" in doc
+
+
+class TestCollapsedExport:
+    def test_self_weights_sum_to_root_span_work(self):
+        text = to_collapsed(make_trace().all_events())
+        weights = {}
+        for line in text.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            weights[stack] = int(value)
+        assert weights == {"outer": 6, "outer;inner": 4}
+        assert sum(weights.values()) == 10  # no double counting
+
+    def test_deterministic_and_newline_terminated(self, tmp_path):
+        events = make_trace().all_events()
+        assert to_collapsed(events) == to_collapsed(events)
+        write_collapsed(events, tmp_path / "t.txt")
+        assert (tmp_path / "t.txt").read_text().endswith("\n")
+
+
+class TestRealSolveExports:
+    def test_end_to_end_on_a_dataset(self, tmp_path):
+        rec = TraceRecorder()
+        result = lazymc(load("dblp"), tracer=rec)
+        events = rec.all_events()
+        doc = to_chrome(events)
+        phase_spans = [e for e in doc["traceEvents"]
+                       if e["ph"] == "X" and e["name"].startswith("phase:")]
+        assert {e["name"] for e in phase_spans} >= \
+            {"phase:heuristic_degree", "phase:systematic"}
+        # Flame widths are bounded by the total counted work.
+        text = to_collapsed(events)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in text.strip().splitlines())
+        assert 0 < total <= result.counters.work
