@@ -42,6 +42,30 @@ def funnel_section(funnel: FilterFunnel | None, n_vertices: int) -> dict:
     }
 
 
+def engine_section(info: dict | None = None) -> dict:
+    """JSON form of an execution-engine summary.
+
+    The shared ``engine`` section of ``solve --json`` records and service
+    results: which backend ran the parfors, with how many workers, the
+    schedule totals (work units), incumbent publications, the measured
+    wall time of real-parallel sections, and any recorded serial
+    fallbacks.  ``info=None`` (an algorithm that never touched the engine
+    layer) yields the same shape zeroed with backend ``"none"``, so
+    downstream tooling can rely on the keys and types.
+    """
+    info = info or {}
+    return {
+        "backend": str(info.get("backend", "none")),
+        "workers": int(info.get("workers", 0)),
+        "makespan": float(info.get("makespan", 0.0)),
+        "total_work": int(info.get("total_work", 0)),
+        "tasks": int(info.get("tasks", 0)),
+        "incumbent_publications": int(info.get("publications", 0)),
+        "wall_parallel_seconds": float(info.get("wall_seconds", 0.0)),
+        "fallbacks": [str(f) for f in info.get("fallbacks", [])],
+    }
+
+
 @dataclass(frozen=True)
 class WorkAvoidanceReport:
     """How much of the instance the solver never had to look at."""
@@ -149,6 +173,7 @@ def to_dict(graph: CSRGraph, result: MCResult) -> dict:
             "makespan": result.schedule.makespan,
             "total_work": result.schedule.total_work,
         },
+        "engine": engine_section(result.engine),
         "zone_of_interest": {
             "may_vertex_fraction": war.may_vertex_fraction,
             "must_vertex_fraction": war.must_vertex_fraction,

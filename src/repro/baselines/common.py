@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..graph.csr import CSRGraph
 from ..instrument import Counters
@@ -11,7 +11,13 @@ from ..instrument import Counters
 
 @dataclass
 class BaselineResult:
-    """Uniform result record for baseline algorithms (Table II rows)."""
+    """Uniform result record for baseline algorithms (Table II rows).
+
+    ``engine`` is the execution-engine summary for baselines that run on
+    the engine layer (PMC); purely sequential baselines leave it empty and
+    downstream records zero-fill it (see
+    :func:`repro.analysis.engine_section`).
+    """
 
     name: str
     clique: list[int]
@@ -19,6 +25,7 @@ class BaselineResult:
     counters: Counters
     wall_seconds: float
     timed_out: bool = False
+    engine: dict = field(default_factory=dict)
 
     def verify(self, graph: CSRGraph) -> bool:
         """Check the clique is valid and matches omega."""

@@ -10,8 +10,11 @@ points the paper contrasts against:
 * **Coreness-based heuristic search** to prime the incumbent.
 * **Branch and bound with greedy coloring pruning** and core-number
   pruning, searching each vertex's right-neighborhood.
-* **Parallel over vertices** via the same simulated scheduler as LazyMC,
-  with shared-incumbent semantics.
+* **Parallel over vertices** via the same execution-engine layer as
+  LazyMC (:mod:`repro.parallel.engine`), with shared-incumbent semantics —
+  baseline and LazyMC runs compare under identical execution semantics.
+  The expansion bodies are closures, so the process engine runs them
+  inline (live incumbent); the simulated engine is the default.
 * **No early-exit intersections, no lazy filtering, no k-VC dispatch** —
   the three LazyMC contributions it lacks.
 """
@@ -26,8 +29,8 @@ from ..graph.kcore import peeling_order
 from ..graph.ordering import VertexOrder, relabel_graph
 from ..instrument import Counters, WorkBudget
 from ..mc.coloring import color_sort
+from ..parallel.engine import create_engine
 from ..parallel.incumbent import Incumbent, IncumbentView
-from ..parallel.scheduler import SimulatedScheduler
 from .common import BaselineResult, Stopwatch
 
 
@@ -56,16 +59,18 @@ def _expand(adjacency: list[np.ndarray], adj_sets: list[set], clique: list[int],
 
 
 def pmc(graph: CSRGraph, threads: int = 1, max_work: int | None = None,
-        max_seconds: float | None = None) -> BaselineResult:
+        max_seconds: float | None = None, engine: str = "sim",
+        processes: int = 0) -> BaselineResult:
     """Run the PMC baseline; exact unless the budget trips."""
     watch = Stopwatch()
     counters = Counters()
     budget = WorkBudget(max_work, max_seconds, counters)
     incumbent = Incumbent()
-    scheduler = SimulatedScheduler(threads, counters)
+    eng = create_engine(engine, threads, processes, counters)
 
     if graph.n == 0:
-        return BaselineResult("pmc", [], 0, counters, watch.elapsed())
+        return BaselineResult("pmc", [], 0, counters, watch.elapsed(),
+                              engine=eng.info())
     incumbent.offer([0])
     timed_out = False
     try:
@@ -76,9 +81,9 @@ def pmc(graph: CSRGraph, threads: int = 1, max_work: int | None = None,
         order = VertexOrder.from_sequence(order_seq)
         relabelled = relabel_graph(graph, order)
         counters.elements_scanned += 2 * graph.m + graph.n  # the relabel
-        scheduler.run_serial_section(
+        eng.run_serial_section(
             graph.n + 2 * graph.m,
-            int((graph.n + 2 * graph.m) / (threads ** 0.5)))
+            int((graph.n + 2 * graph.m) / (eng.threads ** 0.5)))
         core_relabelled = core[order.new_to_old]
 
         adjacency = [relabelled.neighbors(v) for v in range(relabelled.n)]
@@ -108,7 +113,7 @@ def pmc(graph: CSRGraph, threads: int = 1, max_work: int | None = None,
                 local.elements_scanned += len(cand) + 1
             view.offer([to_original(u) for u in clique])
 
-        scheduler.parfor([int(v) for v in by_core_desc], heuristic_task, incumbent)
+        eng.parfor([int(v) for v in by_core_desc], heuristic_task, incumbent)
 
         # Systematic: every vertex, highest core first, core-number pruned.
         order_desc = [int(v) for v in by_core_desc]
@@ -125,10 +130,12 @@ def pmc(graph: CSRGraph, threads: int = 1, max_work: int | None = None,
             _expand(adjacency, adj_sets, [v], cand, view, local, budget,
                     to_original)
 
-        scheduler.parfor(order_desc, search_task, incumbent)
+        eng.parfor(order_desc, search_task, incumbent)
     except BudgetExceeded:
         timed_out = True
+    finally:
+        eng.close()
 
     clique = sorted(incumbent.clique)
     return BaselineResult("pmc", clique, len(clique), counters,
-                          watch.elapsed(), timed_out)
+                          watch.elapsed(), timed_out, engine=eng.info())

@@ -17,15 +17,16 @@ fig3      Systematic-search work breakdown (Fig. 3)
 fig4      Laziness/prepopulation ablation (Fig. 4)
 fig5      Early-exit intersection ablation (Fig. 5)
 fig6      Algorithmic-choice density threshold sweep (Fig. 6)
-fig7      Simulated parallel scaling and work inflation (Fig. 7)
+fig7      Parallel scaling and work inflation (Fig. 7; sim or process)
 extras    Filter-rounds / seeding / hash-threshold ablations (DESIGN §5)
 micro     Kernel microbenchmarks: representations + early-exit savings
+engines   Execution-engine race: sequential vs real multiprocessing
 service   Query-service throughput: cache hits, degradation, batching
 ========  =====================================================
 """
 
-from . import (extras, micro, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
-               service_bench, table1, table2, table3)
+from . import (engines, extras, micro, fig1, fig2, fig3, fig4, fig5, fig6,
+               fig7, service_bench, table1, table2, table3)
 from .harness import BenchConfig, repeat_timed
 from .reporting import render_table
 
@@ -42,6 +43,7 @@ ARTIFACTS = {
     "fig7": fig7,
     "extras": extras,
     "micro": micro,
+    "engines": engines,
     "service": service_bench,
 }
 

@@ -10,6 +10,13 @@ see stale incumbents (the paper measures up to 139× work inflation on
 warwiki against only 4.7× speedup; orkut is well-behaved at <= 1.82×
 inflation).  The simulated scheduler reproduces the mechanism —
 visibility-delayed incumbent publication — deterministically.
+
+With ``BenchConfig(engine="process")`` the sweep runs on the real
+multiprocessing engine instead (process counts from ``PROCESS_COUNTS``):
+the virtual makespan/work columns are then *replayed* schedule accounting
+over measured task costs, and the ``wall`` column is measured wall-clock
+time of the parallel sections — the only column where real parallelism
+(or its absence on a small machine) shows up directly.
 """
 
 from __future__ import annotations
@@ -20,22 +27,33 @@ from .harness import BenchConfig
 from .reporting import render_table
 
 THREAD_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
-HEADERS = ["graph", "threads", "makespan", "speedup", "work", "inflation",
-           "pre%", "heur%", "syst%"]
+#: Worker counts for the real-multiprocessing sweep: kept small because
+#: every count spawns an actual pool.
+PROCESS_COUNTS = [1, 2, 4]
+HEADERS = ["graph", "engine", "threads", "makespan", "speedup", "work",
+           "inflation", "wall", "pre%", "heur%", "syst%"]
 
 
 def run(config: BenchConfig | None = None,
         thread_counts: list[int] | None = None) -> list[dict]:
     """Execute the sweep and return structured rows."""
     config = config or BenchConfig()
-    thread_counts = thread_counts or THREAD_COUNTS
+    engine = config.engine
+    if thread_counts is None:
+        thread_counts = PROCESS_COUNTS if engine == "process" \
+            else THREAD_COUNTS
     rows = []
     for name in config.dataset_list():
         graph = load(name)
         base_makespan = None
         base_work = None
         for t in thread_counts:
-            cfg = LazyMCConfig(threads=t, max_seconds=config.timeout_seconds)
+            if engine == "process":
+                cfg = LazyMCConfig(threads=1, engine="process", processes=t,
+                                   max_seconds=config.timeout_seconds)
+            else:
+                cfg = LazyMCConfig(threads=t, engine=engine,
+                                   max_seconds=config.timeout_seconds)
             result = lazymc(graph, cfg)
             makespan = result.schedule.makespan
             work = result.schedule.total_work
@@ -44,11 +62,13 @@ def run(config: BenchConfig | None = None,
                 base_work = work or 1
             rows.append({
                 "graph": name,
+                "engine": engine,
                 "threads": t,
                 "makespan": makespan,
                 "speedup": base_makespan / makespan if makespan else 0.0,
                 "work": work,
                 "inflation": work / base_work,
+                "wall": result.engine.get("wall_seconds", 0.0),
                 "omega": result.omega,
                 "phase_work": dict(result.timers.work),
             })
@@ -71,11 +91,12 @@ def render(rows: list[dict]) -> str:
     table = []
     for r in rows:
         pre, heur, syst = _phase_fractions(r.get("phase_work", {}))
-        table.append([r["graph"], r["threads"], r["makespan"], r["speedup"],
-                      r["work"], r["inflation"],
+        table.append([r["graph"], r.get("engine", "sim"), r["threads"],
+                      r["makespan"], r["speedup"], r["work"], r["inflation"],
+                      r.get("wall", 0.0),
                       100 * pre, 100 * heur, 100 * syst])
     return render_table(HEADERS, table,
-                        title="Fig. 7 — simulated parallel scaling "
+                        title="Fig. 7 — parallel scaling "
                               "(phase breakdown in work%)",
                         precision=1)
 

@@ -23,13 +23,17 @@ class BenchConfig:
 
     ``timeout_seconds`` substitutes the paper's 30-minute wall limit;
     ``repeats`` matches the paper's repeated-measurement protocol (their
-    Dev% column exists because they repeat each run).
+    Dev% column exists because they repeat each run).  ``engine`` selects
+    the execution engine (:mod:`repro.parallel.engine`) for artifacts
+    that honor it (fig7, engines); the deterministic simulated scheduler
+    stays the default so committed baselines remain reproducible.
     """
 
     datasets: tuple[str, ...] = ()
     repeats: int = 3
     timeout_seconds: float = 60.0
     threads: int = 1
+    engine: str = "sim"
 
     def dataset_list(self) -> list[str]:
         """Selected dataset names (full registry when unset)."""

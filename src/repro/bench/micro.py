@@ -169,6 +169,121 @@ def run_kernel_backends(instances=_KERNEL_INSTANCES, seed: int = 7) -> list[dict
     return rows
 
 
+# -- engine race (exported as the separate ``engines`` artifact) --------------
+#
+# Deliberately NOT part of :func:`run`: the committed ``BENCH_3.json``
+# baseline predates it, and the perf CI job diffs micro's sections
+# row-for-row — a new section would fail as ``new_rows``.  The
+# :mod:`repro.bench.engines` artifact wraps it with its own committed
+# baseline (``BENCH_5.json``).
+
+
+def _race_context(payload):
+    """Worker-context builder for the engine race (identity: the payload
+    already is the plain picklable dict the tasks need)."""
+    return payload
+
+
+def _race_task(ctx, task, view, counters):
+    """Needle-benchmark task body (module level: process-shippable).
+
+    One task (the needle) immediately finds a clique of ``needle_size``;
+    every other task either burns a fixed CPU loop or — once the needle's
+    publication is visible at its start — prunes at entry.  How many
+    tasks actually burn therefore measures incumbent-visibility latency
+    directly: a sequential run burns every pre-needle task, workers that
+    share the incumbent stop burning as soon as one of them hits the
+    needle.  That is the work-deflation half of the Fig. 7 story, and on
+    a small machine it is where real-parallel wall-clock wins come from.
+    """
+    if view.size >= ctx["needle_size"]:
+        counters.elements_scanned += 1
+        return "pruned", None
+    if task == ctx["needle_index"]:
+        counters.elements_scanned += 1
+        view.offer(list(range(ctx["needle_size"])))
+        return "needle", None
+    x = 0
+    for i in range(ctx["burn"]):  # real CPU time, not just a counter bump
+        x += i & 7
+    counters.elements_scanned += ctx["burn"]
+    return "burned", None
+
+
+def run_engine_race(n_tasks: int = 64, burn: int = 150_000,
+                    needle_size: int = 8, processes: int = 2,
+                    dataset: str = "WormNet") -> list[dict]:
+    """Race the sequential and process engines on the same workloads.
+
+    Two workloads: the synthetic *needle* parfor above, and a full
+    ``lazymc`` solve of ``dataset``.  Sequential-row counters are
+    deterministic (regression-checked); process rows carry the same
+    quantities under an ``ndet_`` prefix because real-parallel
+    publication timing is racy by nature (:mod:`repro.bench.regress`
+    excludes them), plus measured ``wall_*`` fields.
+    """
+    from ..parallel import EngineBody, Incumbent, create_engine
+
+    # The needle sits at the start of the second map chunk, so with >= 2
+    # workers somebody reaches it immediately while worker 0 is still
+    # burning its first chunk.
+    needle_index = max(1, n_tasks // (processes * 4))
+    ctx = {"burn": burn, "needle_index": needle_index,
+           "needle_size": needle_size}
+    body = EngineBody(
+        inline=lambda task, view, counters: _race_task(ctx, task, view,
+                                                       counters)[0],
+        worker=_race_task)
+
+    rows = []
+    for engine_name in ("seq", "process"):
+        eng = create_engine(engine_name, processes=processes)
+        if engine_name == "process":
+            eng.set_worker_context(_race_context, ctx)
+        incumbent = Incumbent()
+        t0 = time.perf_counter()
+        results = eng.parfor(list(range(n_tasks)), body, incumbent)
+        wall = time.perf_counter() - t0
+        eng.close()
+        outcomes = [r.value if isinstance(r.value, str) else r.value[0]
+                    for r in results]
+        row = {"name": "needle", "engine": engine_name,
+               "tasks": n_tasks, "wall_parfor": wall}
+        stats = {"burned": outcomes.count("burned"),
+                 "pruned": outcomes.count("pruned"),
+                 "work": eng.counters.work,
+                 "publications": eng.publications}
+        if engine_name == "seq":
+            row.update(stats)
+        else:
+            row.update({f"ndet_{k}": v for k, v in stats.items()})
+            row["processes"] = eng.processes
+            row["fallback_count"] = len(eng.fallbacks)
+            row["wall_map"] = getattr(eng, "wall_seconds", 0.0)
+        rows.append(row)
+
+    from .. import LazyMCConfig, lazymc
+    from ..datasets import load
+
+    graph = load(dataset)
+    for engine_name in ("seq", "process"):
+        cfg = LazyMCConfig(engine=engine_name, processes=processes)
+        t0 = time.perf_counter()
+        result = lazymc(graph, cfg)
+        wall = time.perf_counter() - t0
+        row = {"name": f"lazymc-{dataset}", "engine": engine_name,
+               "omega": result.omega, "wall_solve": wall}
+        if engine_name == "seq":
+            row["work"] = result.counters.work
+        else:
+            row["ndet_work"] = result.counters.work
+            row["processes"] = processes
+            row["fallback_count"] = len(result.engine.get("fallbacks", []))
+            row["wall_map"] = result.engine.get("wall_seconds", 0.0)
+        rows.append(row)
+    return rows
+
+
 def run(config: BenchConfig | None = None) -> dict:
     """Execute the sweep and return structured rows."""
     return {

@@ -15,8 +15,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 # Wall-clock-ish keys: machine-dependent, excluded unless asked for.
+# ``ndet_`` marks counters that are *nondeterministic by construction*
+# (real-parallel publication timing, e.g. the engines artifact's process
+# rows) rather than time-valued; they are excluded for the same reason.
 _TIME_KEYS = ("t_", "dev_", "wall", "seconds", "time", "ns_",
-              "generation")
+              "generation", "ndet_")
 
 
 @dataclass

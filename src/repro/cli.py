@@ -3,6 +3,7 @@
 Usage::
 
     lazymc solve <dataset-or-file> [--threads N] [--timeout S] [--algo NAME]
+                 [--engine sim|seq|process] [--processes N]
                  [--json] [--verify] [--trace PATH]
     lazymc trace summarize|export|validate <trace.jsonl>
     lazymc bench <artifact|all> [--datasets a,b,c] [--repeats N] [--timeout S]
@@ -60,7 +61,9 @@ def _cmd_solve(args) -> int:
         result = lazymc(graph, LazyMCConfig(threads=args.threads,
                                             max_work=args.max_work,
                                             max_seconds=args.timeout,
-                                            kernel_backend=args.kernel),
+                                            kernel_backend=args.kernel,
+                                            engine=args.engine,
+                                            processes=args.processes),
                         tracer=tracer)
         if tracer is not None:
             tracer.write(args.trace)
@@ -86,7 +89,8 @@ def _cmd_solve(args) -> int:
 
         record = solve_graph(graph, args.algo, threads=args.threads,
                              max_work=args.max_work, max_seconds=args.timeout,
-                             kernel=args.kernel)
+                             kernel=args.kernel, engine=args.engine,
+                             processes=args.processes)
         if args.json:
             import json
 
@@ -130,7 +134,8 @@ def _solve_with_faults(args, graph: CSRGraph) -> int:
                  trace_sample=args.trace_sample)
     try:
         record = run_job(graph, args.algo, args.threads, args.max_work,
-                         args.timeout, args.kernel, env)
+                         args.timeout, args.kernel, args.engine,
+                         args.processes, env)
     except InjectedFault as exc:
         record = {"ok": False, "error_type": "InjectedFault", "error": str(exc)}
     if args.json:
@@ -169,6 +174,8 @@ def _cmd_serve(args) -> int:
         fault_plan=plan,
         trace_dir=args.trace_dir,
         trace_sample=args.trace_sample,
+        default_engine=args.engine,
+        default_processes=args.processes,
     ))
     if args.port is not None:
         server = CliqueServer(service, host=args.host, port=args.port,
@@ -225,7 +232,9 @@ def _cmd_query(args) -> int:
                                     max_seconds=args.timeout,
                                     use_cache=not args.no_cache,
                                     kernel=args.kernel,
-                                    trace_id=args.trace_id)
+                                    trace_id=args.trace_id,
+                                    engine=args.engine,
+                                    processes=args.processes)
     except ProtocolError as exc:
         # A dropped/torn response (e.g. the server's drop:proto fault, or
         # a mid-request restart): a clean, retryable error — not a
@@ -295,6 +304,7 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats,
         timeout_seconds=args.timeout,
         threads=args.threads,
+        engine=args.engine,
     )
     targets = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for target in targets:
@@ -388,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="MC sub-solver backend: list[set] branch and bound, "
                         "the bit-parallel BBMC kernel, or density-based auto "
                         "selection (lazymc only)")
+    p.add_argument("--engine", default="sim",
+                   choices=["sim", "seq", "process"],
+                   help="execution engine: deterministic simulated scheduler "
+                        "(default), zero-simulation sequential fast path, or "
+                        "real multiprocessing (lazymc and pmc)")
+    p.add_argument("--processes", type=int, default=0,
+                   help="worker processes for --engine process "
+                        "(0 = auto-size from the CPU count)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable record (any algorithm)")
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -441,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "with a trace id (query --trace-id)")
     p.add_argument("--trace-sample", type=int, default=1, metavar="N",
                    help="trace sampling stride for captured jobs")
+    p.add_argument("--engine", default="sim",
+                   choices=["sim", "seq", "process"],
+                   help="default execution engine for jobs that leave "
+                        "theirs unset")
+    p.add_argument("--processes", type=int, default=0,
+                   help="default process count for the process engine "
+                        "(0 = auto)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("query", help="query a running lazymc service")
@@ -457,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="sets",
                    choices=["sets", "bits", "auto"],
                    help="MC sub-solver backend (lazymc only)")
+    p.add_argument("--engine", default=None,
+                   choices=["sim", "seq", "process"],
+                   help="execution engine for this job "
+                        "(default: the server's default)")
+    p.add_argument("--processes", type=int, default=0,
+                   help="process count for --engine process (0 = auto)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the server-side result cache")
     p.add_argument("--trace-id", default=None, metavar="ID",
@@ -496,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--timeout", type=float, default=60.0)
     p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--engine", default="sim",
+                   choices=["sim", "seq", "process"],
+                   help="execution engine for artifacts that honor it "
+                        "(fig7, engines)")
     p.add_argument("--output", default=None,
                    help="write JSON to this directory instead of printing")
     p.set_defaults(fn=_cmd_bench)

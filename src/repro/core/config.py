@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..intersect.early_exit import EarlyExitConfig
+from ..parallel.engine import ENGINE_NAMES
 
 
 class PrepopulatePolicy(str, enum.Enum):
@@ -82,6 +83,14 @@ class LazyMCConfig:
     heuristic_top_k: int = 8
     # Simulated parallelism (§V-F).
     threads: int = 1
+    # Execution engine (repro.parallel.engine): "sim" is the deterministic
+    # virtual-time simulation (the default; golden-counter pinned), "seq"
+    # the zero-simulation sequential fast path, "process" a real
+    # multiprocessing pool over the systematic search's per-level task
+    # batches.  ``processes`` sizes the pool; 0 means auto (CPU count,
+    # floored at 2 so cross-worker incumbent sharing exists).
+    engine: str = "sim"
+    processes: int = 0
     # Budgets (substitute for the paper's 30-minute timeout).
     max_work: int | None = None
     max_seconds: float | None = None
@@ -93,6 +102,11 @@ class LazyMCConfig:
             raise ValueError("filter_rounds must be >= 0")
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {', '.join(ENGINE_NAMES)}")
+        if self.processes < 0:
+            raise ValueError("processes must be >= 0 (0 = auto)")
         if self.heuristic_top_k < 1:
             raise ValueError("heuristic_top_k must be >= 1")
         if self.mc_root_bound not in ("none", "dsatur"):

@@ -26,15 +26,20 @@ from ..graph.csr import CSRGraph
 from ..instrument import Counters
 from ..intersect.early_exit import SortedArraySet, intersect_gt, intersect_size_gt_val
 from ..parallel.incumbent import Incumbent, IncumbentView
-from ..parallel.scheduler import SimulatedScheduler
 from .config import LazyMCConfig
 from .lazygraph import LazyGraph
 
 
 def degree_based_heuristic_search(graph: CSRGraph, incumbent: Incumbent,
                                   config: LazyMCConfig,
-                                  scheduler: SimulatedScheduler) -> None:
-    """Alg. 5: greedy max-degree clique growth from top-K degree seeds."""
+                                  engine) -> None:
+    """Alg. 5: greedy max-degree clique growth from top-K degree seeds.
+
+    ``engine`` is any :mod:`repro.parallel.engine` backend.  The body is a
+    closure (it reads ``view.clique``, which only the local incumbent
+    carries), so it runs inline on every engine — by design: the
+    heuristics are cheap prefix phases, not the parallel payload.
+    """
     n = graph.n
     if n == 0:
         return
@@ -84,12 +89,12 @@ def degree_based_heuristic_search(graph: CSRGraph, incumbent: Incumbent,
             cand = buf[:size].copy() if size > 0 else np.empty(0, dtype=np.int64)
         view.offer(clique)
 
-    scheduler.parfor(list(map(int, top)), run, incumbent)
+    engine.parfor(list(map(int, top)), run, incumbent)
 
 
 def coreness_based_heuristic_search(lazy: LazyGraph, incumbent: Incumbent,
                                     config: LazyMCConfig,
-                                    scheduler: SimulatedScheduler) -> None:
+                                    engine) -> None:
     """Alg. 6: one greedy descent per coreness level, highest level first."""
     core = lazy.core
     if lazy.n == 0:
@@ -122,4 +127,4 @@ def coreness_based_heuristic_search(lazy: LazyGraph, incumbent: Incumbent,
             cand = buf[:size].copy()
         view.offer(lazy.to_original(clique))
 
-    scheduler.parfor(levels, run, incumbent)
+    engine.parfor(levels, run, incumbent)

@@ -61,6 +61,20 @@ class LazyGraph:
         # Degrees in relabelled space (original degrees permuted).
         self.degrees = graph.degrees[order.new_to_old]
 
+    # -- pickling (process-engine worker context) ---------------------------------
+
+    def __getstate__(self) -> dict:
+        # Thread locks cannot cross a process boundary; the memoized
+        # representations can (and should — shipping them saves every
+        # worker the rebuild).  Workers get fresh locks on arrival.
+        state = self.__dict__.copy()
+        state["_locks"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._locks = StripedLocks(64)
+
     # -- construction -------------------------------------------------------------
 
     def _filtered_relabelled_neighbors(self, v: int, min_core: int) -> np.ndarray:

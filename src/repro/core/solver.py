@@ -30,8 +30,9 @@ from ..graph.csr import CSRGraph
 from ..graph.kcore import coreness_degree_filtered
 from ..graph.ordering import coreness_degree_order
 from ..instrument import Counters, PhaseTimer, PhaseTimers, WorkBudget
+from ..parallel.engine import create_engine
 from ..parallel.incumbent import Incumbent
-from ..parallel.scheduler import ScheduleReport, SimulatedScheduler
+from ..parallel.scheduler import ScheduleReport
 from ..trace.tracer import NULL_TRACER, Tracer
 from .config import LazyMCConfig
 from .filtering import FilterFunnel
@@ -57,6 +58,7 @@ class MCResult:
     incumbent_history: list[tuple[float, int]] = field(default_factory=list)
     timed_out: bool = False
     wall_seconds: float = 0.0
+    engine: dict = field(default_factory=dict)
 
     def verify(self, graph: CSRGraph) -> bool:
         """Check the returned vertices really form a clique of size omega."""
@@ -93,7 +95,8 @@ class LazyMC:
         timers = PhaseTimers()
         funnel = FilterFunnel()
         incumbent = Incumbent()
-        scheduler = SimulatedScheduler(cfg.threads, counters)
+        engine = create_engine(cfg.engine, cfg.threads, cfg.processes,
+                               counters)
         budget = WorkBudget(cfg.max_work, cfg.max_seconds, counters,
                             fault_hook=fault_hook)
         tracer = tracer if tracer is not None else NULL_TRACER
@@ -103,7 +106,7 @@ class LazyMC:
         if graph.n == 0:
             tracer.finish()
             return self._result(graph, incumbent, 0, 0, 0, counters, timers,
-                                funnel, scheduler, t0, timed_out=False)
+                                funnel, engine, t0, timed_out=False)
         # Any vertex is a 1-clique; gives the filters a floor.
         incumbent.offer([0])
 
@@ -113,7 +116,7 @@ class LazyMC:
         try:
             with PhaseTimer(timers, "heuristic_degree", counters), \
                     tracer.span("phase:heuristic_degree"):
-                degree_based_heuristic_search(graph, incumbent, cfg, scheduler)
+                degree_based_heuristic_search(graph, incumbent, cfg, engine)
                 if cfg.local_search and incumbent.size:
                     from .local_search import improve_clique
 
@@ -133,8 +136,8 @@ class LazyMC:
                 # as a partially parallelizable section.
                 kcore_cost = graph.n + 2 * graph.m
                 counters.elements_scanned += kcore_cost
-                scheduler.run_serial_section(
-                    kcore_cost, int(kcore_cost / (scheduler.threads ** 0.5)))
+                engine.run_serial_section(
+                    kcore_cost, int(kcore_cost / (engine.threads ** 0.5)))
             # The degree filter hides low-degree vertices.  When the true
             # degeneracy d >= |C*| the d-core survives the filter and
             # core.max() == d; otherwise the incumbent must be a
@@ -146,8 +149,8 @@ class LazyMC:
                 order = coreness_degree_order(graph, core)
                 # Two stable counting-sort passes over the vertex array.
                 counters.elements_scanned += 2 * graph.n
-                scheduler.run_serial_section(
-                    2 * graph.n, int(2 * graph.n / (scheduler.threads ** 0.5)))
+                engine.run_serial_section(
+                    2 * graph.n, int(2 * graph.n / (engine.threads ** 0.5)))
 
             lazy = LazyGraph(graph, order, core, cfg, counters)
 
@@ -157,7 +160,7 @@ class LazyMC:
 
             with PhaseTimer(timers, "heuristic_coreness", counters), \
                     tracer.span("phase:heuristic_coreness"):
-                coreness_based_heuristic_search(lazy, incumbent, cfg, scheduler)
+                coreness_based_heuristic_search(lazy, incumbent, cfg, engine)
             w_h = incumbent.size
             if tracer.enabled and w_h > w_d:
                 tracer.incumbent(w_h, source="heuristic_coreness")
@@ -172,21 +175,23 @@ class LazyMC:
 
             with PhaseTimer(timers, "systematic", counters), \
                     tracer.span("phase:systematic"):
-                systematic_search(lazy, incumbent, cfg, scheduler, funnel,
+                systematic_search(lazy, incumbent, cfg, engine, funnel,
                                   budget, checkpointer=checkpointer,
                                   resume=resume, tracer=tracer)
         except BudgetExceeded:
             timed_out = True
+        finally:
+            engine.close()
 
         if tracer.enabled:
             tracer.incumbent(incumbent.size, source="final")
             tracer.finish()
         return self._result(graph, incumbent, degeneracy, w_d, w_h, counters,
-                            timers, funnel, scheduler, t0, timed_out)
+                            timers, funnel, engine, t0, timed_out)
 
     @staticmethod
     def _result(graph, incumbent, degeneracy, w_d, w_h, counters, timers,
-                funnel, scheduler, t0, timed_out) -> MCResult:
+                funnel, engine, t0, timed_out) -> MCResult:
         clique = sorted(incumbent.clique)
         return MCResult(
             clique=clique,
@@ -198,10 +203,11 @@ class LazyMC:
             counters=counters,
             timers=timers,
             funnel=funnel,
-            schedule=scheduler.report,
+            schedule=engine.report,
             incumbent_history=incumbent.history,
             timed_out=timed_out,
             wall_seconds=time.perf_counter() - t0,
+            engine=engine.info(),
         )
 
 

@@ -8,32 +8,77 @@ every eligible vertex.  Two passes:
    neighborhoods) and valuable on high clique-core-gap graphs, where it
    establishes a good incumbent before the expensive levels are swept.
 2. **Sweep** — every level from the degeneracy down to the incumbent size,
-   all vertices of a level in (simulated) parallel.  High levels first
-   mirrors the must-before-may exploration of §III-A.  Levels and vertices
-   below the *current* incumbent size are skipped — a vertex of coreness
-   c can only belong to cliques of size <= c + 1, so proving no clique
-   beats |C*| only requires vertices with c(v) >= |C*|.
+   all vertices of a level in parallel (simulated or real, per the
+   engine).  High levels first mirrors the must-before-may exploration of
+   §III-A.  Levels and vertices below the *current* incumbent size are
+   skipped — a vertex of coreness c can only belong to cliques of size
+   <= c + 1, so proving no clique beats |C*| only requires vertices with
+   c(v) >= |C*|.
+
+The per-vertex body is expressed as an
+:class:`~repro.parallel.engine.EngineBody`: the inline closure drives the
+simulated and sequential engines (and carries tracing and in-band budget
+checks), while the module-level :func:`_systematic_worker` twin is what the
+process engine ships to its pool — it rebuilds nothing (the lazy graph
+arrives once via the worker context), returns its per-task filter funnel
+for parent-side merging, and leaves budget enforcement to the parent,
+which checks after every parfor when workers are external.
 """
 
 from __future__ import annotations
 
 from ..checkpoint import Checkpointer, SearchCheckpoint
 from ..instrument import Counters, WorkBudget
+from ..parallel.engine import EngineBody
 from ..parallel.incumbent import Incumbent, IncumbentView
-from ..parallel.scheduler import SimulatedScheduler
 from ..trace.tracer import NULL_TRACER, Tracer
 from .config import LazyMCConfig
 from .filtering import FilterFunnel, neighbor_search
 from .lazygraph import LazyGraph
 
 
+def _build_search_context(payload) -> dict:
+    """Worker-context builder (module level: picklable by reference).
+
+    Runs once per pool worker; the payload is the parent's prepared lazy
+    graph and config, so workers inherit the memoized neighborhood
+    representations instead of rebuilding them.
+    """
+    lazy, config = payload
+    return {"lazy": lazy, "config": config}
+
+
+def _systematic_worker(ctx, v: int, view: IncumbentView,
+                       counters: Counters):
+    """Process-shippable twin of the per-vertex search task.
+
+    The worker's lazy graph charges its (re)build work to the task-local
+    counters — unlike the parent copy, whose builds are memoized and
+    already paid for — so the merged totals stay an honest account of the
+    work actually done.  The per-task funnel rides back as the ``extra``
+    for the parent to merge.  No budget and no tracer: both live in the
+    parent process (the parent re-checks its budget after every parfor).
+    """
+    lazy = ctx["lazy"]
+    if lazy.core[v] < view.size:
+        return None, None
+    lazy.counters = counters
+    funnel = FilterFunnel()
+    neighbor_search(lazy, v, view, ctx["config"], counters, funnel)
+    return None, funnel
+
+
 def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
-                      config: LazyMCConfig, scheduler: SimulatedScheduler,
+                      config: LazyMCConfig, engine,
                       funnel: FilterFunnel, budget: WorkBudget | None = None,
                       checkpointer: Checkpointer | None = None,
                       resume: SearchCheckpoint | None = None,
                       tracer: Tracer = NULL_TRACER) -> None:
     """Run Alg. 7 to completion (or until the budget trips).
+
+    ``engine`` is any :mod:`repro.parallel.engine` backend (a bare
+    :class:`~repro.parallel.scheduler.SimulatedScheduler` also works —
+    the body is callable in its inline form).
 
     With a ``checkpointer``, progress is snapshotted after the seeding
     pass and after every swept level: the checkpoint's ``cursor`` is the
@@ -49,6 +94,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
     inside each task its virtual clock is scoped to the task-local
     counters (see :meth:`~repro.trace.tracer.TraceRecorder.task_clock`)
     so event timestamps stay monotone across the simulated parallelism.
+    Tracing rides the inline body only — the process engine's workers run
+    untraced.
     """
     core = lazy.core
     n = lazy.n
@@ -81,6 +128,18 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
             neighbor_search(lazy, v, view, config, counters, funnel, budget,
                             tracer=tracer)
 
+    body = EngineBody(inline=task, worker=_systematic_worker,
+                      merge=funnel.merge)
+    external = getattr(engine, "external_workers", False)
+    if external:
+        engine.set_worker_context(_build_search_context, (lazy, config))
+
+    def check_budget() -> None:
+        # External workers run without in-band budget checks (the budget
+        # object lives in the parent); enforce it at the parfor barrier.
+        if external and budget is not None:
+            budget.check()
+
     seed_done = False
     start_level = degeneracy
     if resume is not None:
@@ -109,7 +168,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
                      if k in first_at_level]
             if seeds:
                 with tracer.span("seed", count=len(seeds)):
-                    scheduler.parfor(seeds, task, incumbent)
+                    engine.parfor(seeds, body, incumbent)
+                check_budget()
         seed_done = True
         if checkpointer is not None:
             checkpointer.offer(snapshot(start_level))
@@ -124,7 +184,8 @@ def systematic_search(lazy: LazyGraph, incumbent: Incumbent,
             vertices = levels.get(k)
             if vertices:
                 with tracer.span("level", k=k, count=len(vertices)):
-                    scheduler.parfor(vertices, task, incumbent)
+                    engine.parfor(vertices, body, incumbent)
+                check_budget()
             cursor = k - 1
             if checkpointer is not None:
                 checkpointer.offer(snapshot(k - 1))

@@ -24,7 +24,9 @@ incumbent — exactly the trade-off the paper's related work discusses.
 from .scheduler import SimulatedScheduler, TaskResult, ScheduleReport
 from .incumbent import Incumbent, IncumbentView
 from .locks import StripedLocks
-from .pool import map_parallel
+from .pool import POOL_METRICS, map_parallel, pool_fallbacks
+from .engine import (ENGINE_NAMES, EngineBody, ProcessEngine,
+                     SequentialEngine, SimulatedEngine, create_engine)
 
 __all__ = [
     "SimulatedScheduler",
@@ -34,4 +36,12 @@ __all__ = [
     "IncumbentView",
     "StripedLocks",
     "map_parallel",
+    "pool_fallbacks",
+    "POOL_METRICS",
+    "ENGINE_NAMES",
+    "EngineBody",
+    "SimulatedEngine",
+    "SequentialEngine",
+    "ProcessEngine",
+    "create_engine",
 ]

@@ -3,29 +3,60 @@
 CPython processes sidestep the GIL but share nothing, so this backend is
 only suitable for embarrassingly parallel *outer* loops — e.g. solving many
 independent graphs during a benchmark sweep — never for the incumbent-
-coupled inner search (that is what :mod:`repro.parallel.scheduler`
-simulates).  Falls back to serial execution when processes are unavailable
-or the item count is small.
+coupled inner search (that is :mod:`repro.parallel.engine`'s job).  Falls
+back to serial execution when processes are unavailable or the item count
+is small; every fallback is recorded in :data:`POOL_METRICS` (results are
+identical either way, but a sweep that silently ran serial would report
+misleading wall clocks, so the degradation must be observable).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
+from ..instrument import MetricsRegistry
+
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Registry of serial-fallback counters: ``pool_fallback_total`` plus one
+#: ``pool_fallback_<reason>`` counter per distinct reason.  Exposed in
+#: bench artifact exports (see :mod:`repro.bench.export`).
+POOL_METRICS = MetricsRegistry()
+
+
+def _record_fallback(metrics: MetricsRegistry, reason: str) -> None:
+    metrics.inc("pool_fallback_total")
+    metrics.inc(f"pool_fallback_{reason}")
+
+
+def pool_fallbacks(metrics: MetricsRegistry | None = None) -> dict:
+    """Current fallback counters as a plain dict (bench artifact section)."""
+    snap = (metrics or POOL_METRICS).snapshot()
+    return {k: v for k, v in snap["counters"].items()
+            if k.startswith("pool_fallback")}
+
 
 def map_parallel(fn: Callable[[T], R], items: Sequence[T],
-                 processes: int | None = None, min_items: int = 4) -> list[R]:
+                 processes: int | None = None, min_items: int = 4,
+                 metrics: MetricsRegistry | None = None) -> list[R]:
     """``[fn(x) for x in items]``, possibly across worker processes.
 
-    ``fn`` and the items must be picklable.  Order is preserved.  Any
-    failure to set up multiprocessing silently degrades to serial — results
-    are identical either way, only wall time differs.
+    ``fn`` and the items must be picklable.  Order is preserved.
+    ``processes=None`` sizes the pool from the CPU count; ``processes=1``
+    requests serial execution outright (not a fallback); anything below 1
+    is rejected.  Failures to set up or use multiprocessing degrade to
+    serial with the reason counted in ``metrics`` (default
+    :data:`POOL_METRICS`) — never silently.
     """
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be >= 1")
+    metrics = metrics if metrics is not None else POOL_METRICS
     items = list(items)
-    if processes == 1 or len(items) < min_items:
+    if processes == 1:
+        return [fn(x) for x in items]
+    if len(items) < min_items:
+        _record_fallback(metrics, "small_input")
         return [fn(x) for x in items]
     try:
         import multiprocessing as mp
@@ -34,5 +65,6 @@ def map_parallel(fn: Callable[[T], R], items: Sequence[T],
         procs = processes or min(ctx.cpu_count(), len(items))
         with ctx.Pool(procs) as pool:
             return pool.map(fn, items)
-    except Exception:
+    except Exception as exc:
+        _record_fallback(metrics, type(exc).__name__)
         return [fn(x) for x in items]

@@ -79,6 +79,7 @@ class SimulatedScheduler:
         self.counters = counters if counters is not None else Counters()
         self.report = ScheduleReport()
         self.now = 0.0
+        self.publications = 0
 
     def parfor(
         self,
@@ -106,8 +107,8 @@ class SimulatedScheduler:
             cost = max(local.work, 1)  # every task costs at least one unit
             t_finish = t_start + cost
             pending = view.pending
-            if pending is not None:
-                incumbent.publish_at(pending, t_finish)
+            if pending is not None and incumbent.publish_at(pending, t_finish):
+                self.publications += 1
             self.counters.merge(local)
             results.append(TaskResult(task=task, start=t_start, finish=t_finish,
                                       cost=cost, worker=w, value=value))

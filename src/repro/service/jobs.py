@@ -47,6 +47,12 @@ class JobSpec:
     use_cache: bool = True
     kernel: str = "sets"
     trace_id: str | None = None
+    # Execution engine (repro.parallel.engine): ``None`` defers to the
+    # service default (``ServiceConfig.default_engine``), mirroring how
+    # unset budgets defer.  ``processes`` sizes the process pool (0 =
+    # auto).
+    engine: str | None = None
+    processes: int = 0
 
     def __post_init__(self) -> None:
         if (self.target is None) == (self.graph is None):
@@ -58,6 +64,14 @@ class JobSpec:
             raise ValueError("threads must be >= 1")
         if self.kernel not in ("sets", "bits", "auto"):
             raise ValueError("kernel must be 'sets', 'bits' or 'auto'")
+        if self.engine is not None:
+            from ..parallel.engine import ENGINE_NAMES
+
+            if self.engine not in ENGINE_NAMES:
+                raise ValueError(f"engine must be one of "
+                                 f"{', '.join(ENGINE_NAMES)} (or None)")
+        if self.processes < 0:
+            raise ValueError("processes must be >= 0 (0 = auto)")
         if self.trace_id is not None:
             if not self.trace_id:
                 raise ValueError("trace_id must be a non-empty string")
@@ -80,6 +94,8 @@ class JobSpec:
             "max_work": self.max_work,
             "max_seconds": self.max_seconds,
             "kernel": self.kernel,
+            "engine": self.engine,
+            "processes": self.processes,
         }, sort_keys=True)
 
 
@@ -126,6 +142,7 @@ class JobResult:
     attempts: int = 1
     resumed: bool = False
     funnel: dict | None = None
+    engine: dict | None = None
     trace_id: str | None = None
     trace_path: str | None = None
     trace_summary: dict | None = None

@@ -37,7 +37,7 @@ OPS = ("solve", "metrics", "ping", "shutdown")
 #: flagging loudly rather than silently ignoring).
 _SOLVE_KEYS = {"op", "target", "edges", "algo", "threads",
                "max_work", "max_seconds", "use_cache", "kernel",
-               "trace_id"}
+               "trace_id", "engine", "processes"}
 
 
 def encode_message(message: dict) -> bytes:
@@ -122,12 +122,15 @@ class ServiceClient:
               algo: str = "lazymc", threads: int = 1,
               max_work: int | None = None, max_seconds: float | None = None,
               use_cache: bool = True, kernel: str = "sets",
-              trace_id: str | None = None) -> dict:
+              trace_id: str | None = None, engine: str | None = None,
+              processes: int = 0) -> dict:
         """Convenience wrapper building a ``solve`` request.
 
         ``trace_id`` asks the server to capture this job's search-tree
         trace under that id (requires the server to run with a trace
-        directory; see ``lazymc serve --trace-dir``).
+        directory; see ``lazymc serve --trace-dir``).  ``engine`` selects
+        the execution engine ("sim" | "seq" | "process"); ``None`` defers
+        to the server's default.
         """
         message: dict = {"op": "solve", "algo": algo, "threads": threads,
                          "use_cache": use_cache, "kernel": kernel}
@@ -141,6 +144,10 @@ class ServiceClient:
             message["max_seconds"] = max_seconds
         if trace_id is not None:
             message["trace_id"] = trace_id
+        if engine is not None:
+            message["engine"] = engine
+        if processes:
+            message["processes"] = int(processes)
         return self.request(validate_request(message))
 
     def metrics(self, format: str = "json") -> dict:

@@ -45,6 +45,8 @@ def _spec_from_message(message: dict) -> JobSpec:
         use_cache=bool(message.get("use_cache", True)),
         kernel=message.get("kernel", "sets"),
         trace_id=message.get("trace_id"),
+        engine=message.get("engine"),
+        processes=int(message.get("processes", 0)),
     )
 
 

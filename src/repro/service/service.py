@@ -67,6 +67,10 @@ class ServiceConfig:
     so it survives worker crashes).  ``trace_sample`` is the recorder's
     sampling stride for per-neighborhood events.  With ``trace_dir``
     unset, trace requests are ignored and jobs run exactly as before.
+
+    ``default_engine``/``default_processes`` select the execution engine
+    (:mod:`repro.parallel.engine`) for jobs that leave ``engine`` unset —
+    resolved before the cache key is formed, like the default budgets.
     """
 
     workers: int = 0
@@ -85,10 +89,18 @@ class ServiceConfig:
     fault_plan: FaultPlan | None = None
     trace_dir: str | None = None
     trace_sample: int = 1
+    default_engine: str = "sim"
+    default_processes: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        from ..parallel.engine import ENGINE_NAMES
+        if self.default_engine not in ENGINE_NAMES:
+            raise ValueError(f"default_engine must be one of "
+                             f"{', '.join(ENGINE_NAMES)}")
+        if self.default_processes < 0:
+            raise ValueError("default_processes must be >= 0")
         if self.max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
         if self.max_retries < 0:
@@ -167,7 +179,8 @@ class CliqueService:
             if isinstance(self.pool, SupervisedPool):
                 inner = self.pool.submit(
                     run_job, graph, spec.algo, spec.threads, spec.max_work,
-                    spec.max_seconds, spec.kernel, label=spec.algo,
+                    spec.max_seconds, spec.kernel, spec.engine,
+                    spec.processes, label=spec.algo,
                     env_factory=self._env_factory(trace_path))
             else:
                 env = JobEnv(trace_path=trace_path,
@@ -175,7 +188,8 @@ class CliqueService:
                     if trace_path is not None else None
                 inner = self.pool.submit(run_job, graph, spec.algo,
                                          spec.threads, spec.max_work,
-                                         spec.max_seconds, spec.kernel, env)
+                                         spec.max_seconds, spec.kernel,
+                                         spec.engine, spec.processes, env)
         except RuntimeError as exc:  # pool already shut down
             self.metrics.inc("jobs_failed")
             return self._completed(spec, JobResult.failure(exc), fp)
@@ -192,17 +206,22 @@ class CliqueService:
     # -- internals ----------------------------------------------------------------
 
     def _with_default_budgets(self, spec: JobSpec) -> JobSpec:
-        """Apply service default budgets where the job left them unset.
+        """Apply service defaults where the job left them unset.
 
-        Done *before* the cache key is formed: the effective budget is part
-        of the result's identity — a degraded answer is only reusable under
-        the same budget.
+        Done *before* the cache key is formed: the effective budget (and
+        engine — a process-engine result carries different schedule
+        metadata) is part of the result's identity — a degraded answer is
+        only reusable under the same budget.
         """
         changes = {}
         if spec.max_work is None and self.config.default_max_work is not None:
             changes["max_work"] = self.config.default_max_work
         if spec.max_seconds is None and self.config.default_max_seconds is not None:
             changes["max_seconds"] = self.config.default_max_seconds
+        if spec.engine is None:
+            changes["engine"] = self.config.default_engine
+        if spec.processes == 0 and self.config.default_processes:
+            changes["processes"] = self.config.default_processes
         return dataclasses.replace(spec, **changes) if changes else spec
 
     def _env_factory(self, trace_path: str | None = None):

@@ -68,18 +68,24 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
                 max_work: int | None = None,
                 max_seconds: float | None = None,
                 kernel: str = "sets",
+                engine: str = "sim", processes: int = 0,
                 env: JobEnv | None = None) -> dict:
     """Run ``algo`` on ``graph`` and return a uniform record.
 
     The record always carries ``algo``, ``omega``, ``clique``,
-    ``wall_seconds``, ``timed_out``, ``exact``, ``work`` and a ``funnel``
-    section (zeroed for baselines, which have no filter funnel)
-    regardless of algorithm (the CLI's ``solve --json`` shares this
-    contract), plus ``resumed`` when a checkpointed attempt continued a
-    previous one.  Checkpoint/resume, ``solve``-site faults, tracing and
-    the ``kernel`` backend selection ("sets" | "bits" | "auto") are wired
-    for ``lazymc`` only — the baselines manage their own budgets and
-    solvers.
+    ``wall_seconds``, ``timed_out``, ``exact``, ``work``, a ``funnel``
+    section (zeroed for baselines, which have no filter funnel) and an
+    ``engine`` section (zeroed for solvers that never touch the engine
+    layer) regardless of algorithm (the CLI's ``solve --json`` shares
+    this contract), plus ``resumed`` when a checkpointed attempt
+    continued a previous one.  Checkpoint/resume, ``solve``-site faults,
+    tracing and the ``kernel`` backend selection ("sets" | "bits" |
+    "auto") are wired for ``lazymc`` only — the baselines manage their
+    own budgets and solvers.  ``engine`` selects the execution engine
+    ("sim" | "seq" | "process", see :mod:`repro.parallel.engine`) for
+    the solvers that run on the engine layer (``lazymc`` and ``pmc``);
+    note that inside a daemonic pool worker the process engine cannot
+    spawn children and records a serial fallback instead of failing.
     """
     resumed = False
     tracer = None
@@ -116,7 +122,9 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
             result = lazymc(graph, LazyMCConfig(threads=threads,
                                                 max_work=max_work,
                                                 max_seconds=max_seconds,
-                                                kernel_backend=kernel),
+                                                kernel_backend=kernel,
+                                                engine=engine,
+                                                processes=processes),
                             checkpointer=checkpointer, resume=resume,
                             fault_hook=fault_hook, tracer=tracer)
         finally:
@@ -130,7 +138,8 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
 
         if algo == "pmc":
             result = pmc(graph, threads=threads, max_work=max_work,
-                         max_seconds=max_seconds)
+                         max_seconds=max_seconds, engine=engine,
+                         processes=processes)
         elif algo in ("domega-ls", "domega-bs"):
             result = domega(graph, algo.split("-", 1)[1], max_work=max_work,
                             max_seconds=max_seconds)
@@ -138,7 +147,7 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
             result = mcbrb(graph, max_work=max_work, max_seconds=max_seconds)
         else:
             raise ValueError(f"unknown algo {algo!r}")
-    from ..analysis import funnel_section
+    from ..analysis import engine_section, funnel_section
 
     record = {
         "algo": algo,
@@ -152,6 +161,7 @@ def solve_graph(graph: CSRGraph, algo: str = "lazymc", threads: int = 1,
         "work": result.counters.work,
         "resumed": resumed,
         "funnel": funnel_section(getattr(result, "funnel", None), graph.n),
+        "engine": engine_section(getattr(result, "engine", None)),
     }
     if tracer is not None:
         from ..trace import summarize_events
@@ -187,7 +197,8 @@ def _flushing_sink(inner, tracer, trace_path: str):
 
 def run_job(graph: CSRGraph, algo: str, threads: int,
             max_work: int | None, max_seconds: float | None,
-            kernel: str = "sets", env: JobEnv | None = None) -> dict:
+            kernel: str = "sets", engine: str = "sim",
+            processes: int = 0, env: JobEnv | None = None) -> dict:
     """Pool entry point: :func:`solve_graph` with failures as records.
 
     Ordinary exceptions never cross the process boundary as exceptions —
@@ -203,7 +214,7 @@ def run_job(graph: CSRGraph, algo: str, threads: int,
         if plan is not None:
             plan.on_worker_entry()
         record = solve_graph(graph, algo, threads, max_work, max_seconds,
-                             kernel, env)
+                             kernel, engine, processes, env)
         if plan is not None and plan.on_proto():
             raise InjectedFault("injected drop: result lost in transport")
         record["ok"] = True

@@ -98,7 +98,7 @@ class TestArtifactRegistry:
         assert set(ARTIFACTS) == {"table1", "table2", "table3",
                                   "fig1", "fig2", "fig3", "fig4", "fig5",
                                   "fig6", "fig7", "extras", "micro",
-                                  "service"}
+                                  "engines", "service"}
         for mod in ARTIFACTS.values():
             assert hasattr(mod, "run")
             assert hasattr(mod, "main")

@@ -1,0 +1,54 @@
+"""map_parallel validation and observable serial-fallback accounting."""
+
+import pytest
+
+from repro.instrument import MetricsRegistry
+from repro.parallel import map_parallel, pool_fallbacks
+
+
+def _square(x):
+    return x * x
+
+
+class TestValidation:
+    @pytest.mark.parametrize("processes", [0, -1, -7])
+    def test_nonpositive_processes_rejected(self, processes):
+        with pytest.raises(ValueError):
+            map_parallel(_square, [1, 2, 3, 4, 5], processes=processes)
+
+    def test_one_process_is_explicit_serial_not_a_fallback(self):
+        metrics = MetricsRegistry()
+        assert map_parallel(_square, [1, 2, 3, 4, 5], processes=1,
+                            metrics=metrics) == [1, 4, 9, 16, 25]
+        assert pool_fallbacks(metrics) == {}
+
+
+class TestFallbackAccounting:
+    def test_small_input_recorded(self):
+        metrics = MetricsRegistry()
+        assert map_parallel(_square, [2, 3], processes=2,
+                            metrics=metrics) == [4, 9]
+        counts = pool_fallbacks(metrics)
+        assert counts["pool_fallback_total"] == 1
+        assert counts["pool_fallback_small_input"] == 1
+
+    def test_unpicklable_fn_recorded_with_exception_name(self):
+        metrics = MetricsRegistry()
+        items = list(range(8))
+        result = map_parallel(lambda x: x + 1, items, processes=2,
+                              metrics=metrics)
+        assert result == [x + 1 for x in items]
+        counts = pool_fallbacks(metrics)
+        assert counts["pool_fallback_total"] == 1
+        # The reason counter names the exception class (PicklingError,
+        # AttributeError, ... — version-dependent), never a bare total.
+        assert len(counts) == 2
+
+    def test_default_registry_feeds_bench_export(self):
+        from repro.parallel.pool import POOL_METRICS
+
+        before = pool_fallbacks().get("pool_fallback_total", 0)
+        map_parallel(_square, [1], processes=2)  # small_input fallback
+        after = pool_fallbacks().get("pool_fallback_total", 0)
+        assert after == before + 1
+        assert POOL_METRICS.snapshot()["counters"]["pool_fallback_total"] == after
